@@ -1,0 +1,74 @@
+// Ablation: container backend choice (§4.4). The paper measured crun
+// ~150 ms, containerd ~300 ms, Docker ~400 ms per container launch, and
+// cites snapshot restores as a further option. This bench measures
+// cold-start overhead per backend (plus containerd+snapshots) through the
+// full worker path.
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace ilu;
+using namespace ilu::bench;
+
+Summary run_backend(BackendLatencyProfile profile) {
+  SimRuntime rt;
+  WorkerConfig cfg;
+  cfg.cores = 8;
+  cfg.memory_mb = 8 * 1024;
+  cfg.backend = std::move(profile);
+  cfg.keepalive_policy = "TTL";
+  cfg.seed = 4;
+  Worker w(rt, cfg);
+  auto fn = w.register_function(pyaes());
+  w.start();
+  Summary cold;
+  int done = 0;
+  // Sequential cold starts: invoke, then let TTL expire the container.
+  std::function<void(int)> loop = [&](int remaining) {
+    if (remaining == 0) return;
+    w.invoke(fn, [&, remaining](const InvokeResult& r) {
+      if (r.cold) cold.add_ms(r.overhead());
+      ++done;
+      // Evict before the next round so every start is cold.
+      w.pool().set_capacity_mb(0);
+      w.pool().set_capacity_mb(8 * 1024);
+      loop(remaining - 1);
+    });
+  };
+  constexpr int kRuns = 60;
+  loop(kRuns);
+  while (done < kRuns) rt.run_for(secs(30));
+  w.shutdown();
+  return cold;
+}
+
+}  // namespace
+
+int main() {
+  banner("Ablation — container backends: cold-start overhead");
+  std::printf("%-24s %10s %10s %10s\n", "backend", "p50 ms", "p99 ms",
+              "mean ms");
+  CsvWriter csv(results_dir() + "/ablation_backends.csv");
+  csv.row("backend", "p50_ms", "p99_ms", "mean_ms");
+
+  auto snap = BackendLatencyProfile::containerd();
+  snap.name = "containerd+snapshots";
+  snap.snapshot_cold_starts = true;
+
+  for (auto profile :
+       {BackendLatencyProfile::crun(), BackendLatencyProfile::containerd(),
+        BackendLatencyProfile::docker(), snap,
+        BackendLatencyProfile::null_backend()}) {
+    auto name = profile.name;
+    auto s = run_backend(std::move(profile));
+    std::printf("%-24s %10.0f %10.0f %10.0f\n", name.c_str(), s.p50(),
+                s.p99(), s.mean());
+    csv.row(name, s.p50(), s.p99(), s.mean());
+  }
+  std::printf(
+      "\nPaper reference: crun ~150 ms, containerd ~300 ms, Docker ~400 ms\n"
+      "per launch (plus agent boot and netns). The null backend isolates\n"
+      "pure control-plane cost; snapshots cut repeat cold starts to ~60 ms.\n");
+  return 0;
+}

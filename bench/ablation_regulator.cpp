@@ -1,0 +1,107 @@
+// Ablation: the concurrency regulator (§5.1). Sweeps fixed concurrency
+// limits (the overcommitment ratio) and compares the AIMD dynamic modes
+// (load-average signal and the paper-suggested stretch signal) on a bursty
+// workload: throughput, p99 flow time, and mean stretch.
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace ilu;
+using namespace ilu::bench;
+
+struct Out {
+  std::size_t completed = 0;
+  double p99_flow_ms = 0.0;
+  double mean_stretch = 0.0;
+  double final_limit = 0.0;
+};
+
+Out run(RegulatorConfig reg) {
+  SimRuntime rt;
+  WorkerConfig cfg;
+  cfg.cores = 16;
+  cfg.memory_mb = 24 * 1024;
+  cfg.regulator = reg;
+  cfg.seed = 6;
+  Worker w(rt, cfg);
+  auto fn = w.register_function(lookbusy(msecs(500), 192, secs(1)));
+  w.start();
+
+  // Bursty arrivals: 3x the core count arrives in pulses every 4 s.
+  auto trace = [&] {
+    Trace t;
+    t.functions = {w.profile(fn)};
+    t.duration = mins(3);
+    for (Duration at{}; at < t.duration; at += secs(4)) {
+      for (int i = 0; i < 48; ++i) t.events.push_back({at, 0});
+    }
+    return t;
+  }();
+
+  Summary flow;
+  double stretch_sum = 0.0;
+  auto results = replay_trace(
+      rt,
+      [&](FunctionId f, std::function<void(const InvokeResult&)> cb) {
+        w.invoke(f, std::move(cb));
+      },
+      trace, mins(10));
+  for (const auto& r : results) {
+    if (!r.success) continue;
+    flow.add_ms(r.flow_time());
+    stretch_sum += r.stretch();
+  }
+  Out out;
+  out.completed = flow.count();
+  out.p99_flow_ms = flow.p99();
+  out.mean_stretch =
+      flow.count() ? stretch_sum / static_cast<double>(flow.count()) : 0.0;
+  out.final_limit = w.status().concurrency_limit;
+  w.shutdown();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  banner("Ablation — concurrency regulator: fixed limits vs AIMD");
+  std::printf("%-22s %10s %12s %10s %10s\n", "mode", "completed",
+              "p99 flow ms", "mean str", "limit@end");
+  CsvWriter csv(results_dir() + "/ablation_regulator.csv");
+  csv.row("mode", "completed", "p99_flow_ms", "mean_stretch", "final_limit");
+
+  for (double limit : {8.0, 16.0, 32.0, 64.0, 128.0}) {
+    RegulatorConfig reg{.limit = limit};
+    auto o = run(reg);
+    std::string name = "fixed:" + std::to_string(static_cast<int>(limit));
+    std::printf("%-22s %10zu %12.0f %10.2f %10.0f\n", name.c_str(),
+                o.completed, o.p99_flow_ms, o.mean_stretch, o.final_limit);
+    csv.row(name, o.completed, o.p99_flow_ms, o.mean_stretch, o.final_limit);
+  }
+  {
+    RegulatorConfig reg{.limit = 16.0, .dynamic = true};
+    reg.interval = secs(1);
+    auto o = run(reg);
+    std::printf("%-22s %10zu %12.0f %10.2f %10.0f\n", "aimd:load",
+                o.completed, o.p99_flow_ms, o.mean_stretch, o.final_limit);
+    csv.row("aimd_load", o.completed, o.p99_flow_ms, o.mean_stretch,
+            o.final_limit);
+  }
+  {
+    RegulatorConfig reg{.limit = 16.0, .dynamic = true};
+    reg.signal = CongestionSignal::Stretch;
+    reg.stretch_threshold = 2.5;
+    reg.interval = secs(1);
+    auto o = run(reg);
+    std::printf("%-22s %10zu %12.0f %10.2f %10.0f\n", "aimd:stretch",
+                o.completed, o.p99_flow_ms, o.mean_stretch, o.final_limit);
+    csv.row("aimd_stretch", o.completed, o.p99_flow_ms, o.mean_stretch,
+            o.final_limit);
+  }
+  std::printf(
+      "\nLow fixed limits queue bursts (high p99 flow, low stretch); high\n"
+      "limits timeshare (low queueing, inflated execution). AIMD finds the\n"
+      "knee without manual tuning — the §5.1 tradeoff.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Appendix figures: invocations-per-second timeseries of the full Azure
+// model trace (day 1, diurnal shape) and of the three workload samples.
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace ilu;
+  using namespace ilu::bench;
+
+  banner("Appendix — trace invocation timeseries");
+
+  // Full-population trace over one day (expected-rate Poisson per minute).
+  AzureModelConfig full_cfg;
+  full_cfg.population = 50000;
+  full_cfg.days = 1.0;
+  AzureTraceModel full_model(full_cfg);
+  auto full_rps = full_model.full_trace_rps_by_minute();
+  {
+    CsvWriter csv(results_dir() + "/app_full_trace_rps.csv");
+    csv.row("minute", "rps");
+    for (std::size_t m = 0; m < full_rps.size(); ++m) csv.row(m, full_rps[m]);
+  }
+  std::printf("\nFull trace (50k functions, 1 day), rps by hour:\n");
+  for (int h = 0; h < 24; ++h) {
+    double avg = 0.0;
+    for (int m = 0; m < 60; ++m) avg += full_rps[h * 60 + m];
+    avg /= 60.0;
+    std::printf("  %02d:00  %8.1f /s  %s\n", h, avg,
+                std::string(static_cast<std::size_t>(avg / 20.0), '#')
+                    .c_str());
+  }
+
+  // Two-hour samples at the Table 2 rates.
+  AzureModelConfig cfg;
+  cfg.population = 50000;
+  cfg.days = 2.0 / 24.0;
+  AzureTraceModel model(cfg);
+  struct S {
+    const char* name;
+    Trace trace;
+  };
+  S samples[] = {
+      {"representative", model.sample_representative(400, 190.0)},
+      {"rare", model.sample_rare(1000, 30.0)},
+      {"random", model.sample_random(200, 600.0)},
+  };
+  for (auto& s : samples) {
+    auto rps = s.trace.invocations_per_second_by_minute();
+    CsvWriter csv(results_dir() + "/app_" + std::string(s.name) +
+                  "_rps.csv");
+    csv.row("minute", "rps");
+    double mn = 1e18, mx = 0.0, avg = 0.0;
+    for (std::size_t m = 0; m < rps.size(); ++m) {
+      csv.row(m, rps[m]);
+      mn = std::min(mn, rps[m]);
+      mx = std::max(mx, rps[m]);
+      avg += rps[m];
+    }
+    avg /= static_cast<double>(rps.size());
+    std::printf("\n%s sample: %zu minutes, rps min/avg/max = %.1f / %.1f / %.1f\n",
+                s.name, rps.size(), mn, avg, mx);
+  }
+  std::printf("\nCSV series written to results/app_*_rps.csv\n");
+  return 0;
+}

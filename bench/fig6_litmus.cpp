@@ -1,0 +1,143 @@
+// Fig 6: litmus tests on skewed workloads — vanilla OpenWhisk (10-min TTL)
+// vs FaasCache (the same OpenWhisk model with Greedy-Dual keep-alive).
+//
+// Paper shape: FaasCache runs 50-100% more warm invocations on skewed
+// workloads. The paper's three patterns are reproduced at an operating
+// point where the aggregate warm-container footprint exceeds the 48 GB
+// server (so eviction *choice* matters — see EXPERIMENTS.md for the
+// calibration):
+//   - skewed frequency: one function class far more frequent than the rest,
+//   - cyclic access: rotation longer than memory (LRU's pathological case),
+//   - two size classes: small/expensive-init vs large/cheap-init functions.
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace ilu;
+using namespace ilu::bench;
+
+struct Outcome {
+  std::uint64_t warm = 0, cold = 0, dropped = 0;
+  std::uint64_t served() const { return warm + cold; }
+};
+
+Outcome run_workload(const Trace& trace, const std::string& ka_policy,
+                     std::uint64_t seed) {
+  SimRuntime rt;
+  OpenWhiskConfig cfg;
+  cfg.cores = 48.0;
+  cfg.memory_mb = 48 * 1024;
+  cfg.keepalive_policy = ka_policy;
+  cfg.buffer_capacity = 512;
+  cfg.buffer_timeout = secs(20);
+  cfg.seed = seed;
+  OpenWhiskModel ow(rt, cfg);
+  for (const auto& f : trace.functions) ow.register_function(f);
+  ow.start();
+  replay_trace(rt, openwhisk_invoker(ow), trace, /*drain=*/mins(3));
+  ow.shutdown();
+  return {ow.warm_starts(), ow.cold_starts(), ow.dropped()};
+}
+
+/// Skewed frequency: 150 clones each of four FunctionBench types; the
+/// float_op class runs at ~4x the rate of the others (the paper's
+/// 1500:1500:1500:400 ms IAT ratio).
+Trace freq_skew_workload(Duration dur) {
+  std::vector<SyntheticFunctionSpec> specs;
+  Rng r(7);
+  const char* types[4] = {"ml_inference", "disk_bench", "web_serving",
+                          "float_op"};
+  for (int ty = 0; ty < 4; ++ty) {
+    for (int i = 0; i < 150; ++i) {
+      auto p = function_bench_app(types[ty]);
+      p.name = std::string(types[ty]) + "_" + std::to_string(i);
+      double iat = (ty == 3 ? 110.0 * 400.0 / 1500.0 : 110.0) *
+                   r.uniform(0.7, 1.3);
+      specs.push_back(
+          {.profile = p, .mean_iat = secs(iat), .exponential = true});
+    }
+  }
+  return make_synthetic_trace(specs, dur, /*seed=*/61);
+}
+
+/// Cyclic rotation through 250 functions whose combined footprint (~73 GB)
+/// exceeds memory: recency evicts exactly what is needed next.
+Trace cyclic_workload(Duration dur) {
+  std::vector<FunctionProfile> profiles;
+  for (int i = 0; i < 250; ++i) {
+    FunctionProfile p = (i % 2 == 0)
+                            ? lookbusy(msecs(400), 300, secs(4))
+                            : lookbusy(msecs(400), 300, msecs(800));
+    p.name = "cyclic_" + std::to_string(i);
+    profiles.push_back(p);
+  }
+  return make_cyclic_trace(profiles, msecs(100), dur);
+}
+
+/// Two size classes: many small functions with expensive initialization vs
+/// a set of large functions with cheap initialization (~75 GB total).
+Trace two_size_skew_workload(Duration dur) {
+  std::vector<SyntheticFunctionSpec> specs;
+  for (int i = 0; i < 120; ++i) {
+    auto p = lookbusy(msecs(300), 128, secs(3));
+    p.name = "small_" + std::to_string(i);
+    specs.push_back(
+        {.profile = p, .mean_iat = secs(60), .exponential = true});
+  }
+  for (int i = 0; i < 40; ++i) {
+    auto p = lookbusy(secs(1), 1500, msecs(500));
+    p.name = "large_" + std::to_string(i);
+    specs.push_back(
+        {.profile = p, .mean_iat = secs(60), .exponential = true});
+  }
+  return make_synthetic_trace(specs, dur, /*seed=*/62);
+}
+
+}  // namespace
+
+int main() {
+  banner("Fig 6 — litmus tests: OpenWhisk (TTL) vs FaasCache (GD)");
+  const Duration dur = mins(15);
+
+  struct Case {
+    const char* name;
+    Trace trace;
+  };
+  Case cases[] = {
+      {"freq-skew", freq_skew_workload(dur)},
+      {"cyclic", cyclic_workload(dur)},
+      {"2-size-skew", two_size_skew_workload(dur)},
+  };
+
+  CsvWriter csv(results_dir() + "/fig6_litmus.csv");
+  csv.row("workload", "system", "warm", "cold", "served", "dropped");
+  std::printf("%-14s %-10s %10s %10s %10s %10s\n", "workload", "system",
+              "warm", "cold", "served", "dropped");
+  for (auto& c : cases) {
+    auto ow = run_workload(c.trace, "TTL", 11);
+    auto fc = run_workload(c.trace, "GD", 11);
+    std::printf("%-14s %-10s %10llu %10llu %10llu %10llu\n", c.name,
+                "OpenWhisk", (unsigned long long)ow.warm,
+                (unsigned long long)ow.cold, (unsigned long long)ow.served(),
+                (unsigned long long)ow.dropped);
+    std::printf("%-14s %-10s %10llu %10llu %10llu %10llu\n", c.name,
+                "FaasCache", (unsigned long long)fc.warm,
+                (unsigned long long)fc.cold, (unsigned long long)fc.served(),
+                (unsigned long long)fc.dropped);
+    double warm_ratio =
+        static_cast<double>(fc.warm) / std::max<std::uint64_t>(1, ow.warm);
+    std::printf("%-14s %-10s warm x%.2f, served x%.2f\n", c.name, "ratio",
+                warm_ratio,
+                ow.served() ? static_cast<double>(fc.served()) / ow.served()
+                            : 0.0);
+    csv.row(c.name, "OpenWhisk", ow.warm, ow.cold, ow.served(), ow.dropped);
+    csv.row(c.name, "FaasCache", fc.warm, fc.cold, fc.served(), fc.dropped);
+  }
+  std::printf(
+      "\nPaper reference: FaasCache runs 50-100%% more warm invocations on\n"
+      "skewed workloads (the request-drop differential in the paper comes\n"
+      "from OpenWhisk scheduler internals our model reproduces only in\n"
+      "part; see EXPERIMENTS.md).\n");
+  return 0;
+}

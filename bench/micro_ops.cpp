@@ -1,0 +1,175 @@
+// Google-benchmark microbenchmarks backing the implementation-efficiency
+// claims of §6: queue disciplines, pool acquire/return, policy priority
+// computation, CH-BL routing, the discrete-event engine, and the GPS CPU
+// model. These measure the *actual* C++ control-plane data structures (not
+// modeled latencies).
+
+#include <benchmark/benchmark.h>
+
+#include "iluvatar.hpp"
+
+namespace {
+
+using namespace ilu;
+
+void BM_SimRuntimeScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    SimRuntime rt;
+    for (int i = 0; i < 1000; ++i) {
+      rt.schedule(usecs((i * 37) % 500), [] {});
+    }
+    rt.run();
+    benchmark::DoNotOptimize(rt.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimRuntimeScheduleRun);
+
+void BM_QueuePushPop(benchmark::State& state) {
+  auto policy = make_queue_policy(
+      state.range(0) == 0 ? "FCFS" : state.range(0) == 1 ? "SJF" : "EEDF");
+  CharacteristicsMap chars;
+  chars.record_warm(0, msecs(100));
+  chars.record_cold(0, secs(1));
+  InvocationQueue q(*policy, chars);
+  std::uint64_t t = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      QueueItem item;
+      item.fn = 0;
+      item.arrival = usecs(t++);
+      q.push(std::move(item), i % 2 == 0);
+    }
+    while (auto it = q.pop()) benchmark::DoNotOptimize(it->fn);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_QueuePushPop)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_GreedyDualPriority(benchmark::State& state) {
+  GreedyDualPolicy policy;
+  CacheEntry e;
+  e.mem_mb = 256;
+  e.init_time = secs(2);
+  e.uses = 17;
+  for (auto _ : state) {
+    policy.on_access(e, secs(1));
+    benchmark::DoNotOptimize(policy.eviction_rank(e));
+  }
+}
+BENCHMARK(BM_GreedyDualPriority);
+
+void BM_KeepAliveCacheInvocation(benchmark::State& state) {
+  GreedyDualPolicy policy;
+  std::vector<FunctionProfile> fns;
+  for (int i = 0; i < 64; ++i) {
+    fns.push_back(lookbusy(msecs(100 + i), 64 + i * 5, msecs(500)));
+  }
+  KeepAliveCache cache(policy, {.capacity_mb = 4096}, fns);
+  std::uint64_t t = 0;
+  std::uint32_t k = 0;
+  for (auto _ : state) {
+    cache.on_invocation((k * 17) % 64, usecs(t));
+    t += 499;
+    ++k;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KeepAliveCacheInvocation);
+
+void BM_ContainerPoolAcquireReturn(benchmark::State& state) {
+  SimRuntime rt;
+  LruPolicy policy;
+  ContainerPool pool(rt, policy,
+                     ContainerPool::Config{.capacity_mb = 64 * 1024,
+                                           .sweep_interval = Duration::zero()},
+                     nullptr);
+  auto profile = lookbusy(msecs(100), 128, msecs(500));
+  std::vector<Container*> cs;
+  for (int i = 0; i < 32; ++i) {
+    auto* c = pool.add_container(0, profile, rt.now());
+    c->state = ContainerState::Launching;
+    c->state = ContainerState::Running;
+    pool.return_container(c, rt.now());
+    cs.push_back(c);
+  }
+  std::uint64_t t = 0;
+  for (auto _ : state) {
+    Container* c = pool.acquire(0, usecs(t));
+    benchmark::DoNotOptimize(c);
+    pool.return_container(c, usecs(t + 1));
+    t += 2;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ContainerPoolAcquireReturn);
+
+void BM_ChblPick(benchmark::State& state) {
+  ChblBalancer lb(static_cast<std::size_t>(state.range(0)));
+  std::vector<double> loads(state.range(0), 3.0);
+  int k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        lb.pick("function_" + std::to_string(k++ % 512), loads));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChblPick)->Arg(8)->Arg(64);
+
+void BM_CpuModelSubmit(benchmark::State& state) {
+  for (auto _ : state) {
+    SimRuntime rt;
+    CpuModel cpu(rt, 48.0);
+    int done = 0;
+    for (int i = 0; i < 256; ++i) {
+      cpu.submit(0.001 * (i % 7 + 1), 1.0, [&] { ++done; });
+    }
+    rt.run();
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_CpuModelSubmit);
+
+void BM_WorkerWarmInvocationPath(benchmark::State& state) {
+  // Full warm-path event chain through the worker on the sim runtime with
+  // zeroed latency models: measures pure control-plane engine cost.
+  SimRuntime rt;
+  WorkerConfig cfg;
+  cfg.cores = 48.0;
+  cfg.memory_mb = 8 * 1024;
+  cfg.latencies = ControlPlaneLatencies{};  // all-zero models
+  cfg.backend = BackendLatencyProfile::null_backend();
+  cfg.tracing = false;
+  cfg.pool.sweep_interval = Duration::zero();
+  Worker w(rt, cfg);
+  auto fn = w.register_function(lookbusy(usecs(1), 64, usecs(1)));
+  w.start();
+  bool done = false;
+  w.invoke(fn, [&](const InvokeResult&) { done = true; });
+  rt.run_for(secs(5));
+  for (auto _ : state) {
+    done = false;
+    w.invoke(fn, [&](const InvokeResult&) { done = true; });
+    while (!done) rt.step();
+  }
+  w.shutdown();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WorkerWarmInvocationPath);
+
+void BM_AzureTraceGeneration(benchmark::State& state) {
+  AzureModelConfig cfg;
+  cfg.population = 5000;
+  cfg.days = 1.0 / 24.0;
+  for (auto _ : state) {
+    AzureTraceModel model(cfg);
+    auto t = model.sample_random(50, 20.0);
+    benchmark::DoNotOptimize(t.events.size());
+  }
+}
+BENCHMARK(BM_AzureTraceGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// The paper's in-situ simulation claim (§4.4): the same control-plane code
+// runs under the discrete-event SimRuntime (virtual time, deterministic)
+// and the wall-clock RealRuntime. This example executes an identical
+// workload on both and compares the outcomes: same warm/cold behaviour,
+// same code path — only the clock differs.
+//
+//   ./insitu_simulation
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+#include "iluvatar.hpp"
+
+using namespace ilu;
+
+namespace {
+
+struct Outcome {
+  std::uint64_t warm = 0, cold = 0;
+  double mean_overhead_ms = 0.0;
+  double wall_seconds = 0.0;
+};
+
+WorkerConfig config() {
+  WorkerConfig cfg;
+  cfg.cores = 4.0;
+  cfg.memory_mb = 2 * 1024;
+  // Short function so the real-time run finishes quickly.
+  cfg.seed = 99;
+  return cfg;
+}
+
+Outcome run_sim() {
+  SimRuntime rt;
+  Worker w(rt, config());
+  auto fn = w.register_function(lookbusy(msecs(20), 128, msecs(100)));
+  w.start();
+  Summary overhead;
+  int done = 0;
+  std::function<void(int)> chain = [&](int remaining) {
+    if (remaining == 0) return;
+    w.invoke(fn, [&, remaining](const InvokeResult& r) {
+      overhead.add_ms(r.overhead());
+      ++done;
+      chain(remaining - 1);
+    });
+  };
+  chain(50);
+  while (done < 50) rt.run_for(secs(1));
+  w.shutdown();
+  return {w.warm_starts(), w.cold_starts(), overhead.mean(),
+          to_sec(rt.now())};
+}
+
+Outcome run_real() {
+  RealRuntime rt;
+  Worker w(rt, config());
+  auto fn = w.register_function(lookbusy(msecs(20), 128, msecs(100)));
+  w.start();
+  Summary overhead;
+  std::atomic<int> done{0};
+  std::function<void(int)> chain = [&](int remaining) {
+    if (remaining == 0) return;
+    w.invoke(fn, [&, remaining](const InvokeResult& r) {
+      overhead.add_ms(r.overhead());
+      done.fetch_add(1);
+      chain(remaining - 1);
+    });
+  };
+  TimePoint start = rt.now();
+  rt.post([&] { chain(50); });
+  // Poll: drain() would wait for an empty timer heap, but the worker keeps
+  // a periodic background-eviction timer alive by design.
+  while (done.load() < 50) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  double wall = to_sec(rt.now() - start);
+  w.shutdown();
+  return {w.warm_starts(), w.cold_starts(), overhead.mean(), wall};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("50 sequential invocations of a 20 ms function, same worker\n"
+              "code, two runtimes:\n\n");
+  auto sim = run_sim();
+  std::printf("  in-silico (SimRuntime):  warm=%llu cold=%llu  mean "
+              "overhead=%.2f ms  virtual time=%.2f s\n",
+              (unsigned long long)sim.warm, (unsigned long long)sim.cold,
+              sim.mean_overhead_ms, sim.wall_seconds);
+  auto real = run_real();
+  std::printf("  in-situ   (RealRuntime): warm=%llu cold=%llu  mean "
+              "overhead=%.2f ms  wall time=%.2f s\n",
+              (unsigned long long)real.warm, (unsigned long long)real.cold,
+              real.mean_overhead_ms, real.wall_seconds);
+  std::printf(
+      "\nIdentical warm/cold behaviour; the simulation compresses %.1f s of\n"
+      "wall time into instant virtual time while following the same code\n"
+      "path — the paper's \"minimal difference between simulation and the\n"
+      "real system\".\n",
+      real.wall_seconds);
+  return 0;
+}

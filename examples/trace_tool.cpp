@@ -1,0 +1,92 @@
+// Trace generation/inspection CLI for the Azure-model workloads.
+//
+//   ./trace_tool gen  <prefix> [rep|rare|random] [n] [target_rps] [hours]
+//   ./trace_tool info <prefix>
+//
+// `gen` writes <prefix>_functions.csv and <prefix>_events.csv (replayable
+// by faas_sim and the library's load_trace()); `info` prints statistics of
+// a saved trace.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "iluvatar.hpp"
+
+using namespace ilu;
+
+namespace {
+
+int cmd_gen(int argc, char** argv) {
+  std::string prefix = argv[2];
+  std::string kind = argc > 3 ? argv[3] : "rep";
+  std::size_t n = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 200;
+  double rps = argc > 5 ? std::strtod(argv[5], nullptr) : 0.0;
+  double hours = argc > 6 ? std::strtod(argv[6], nullptr) : 2.0;
+
+  AzureModelConfig cfg;
+  cfg.population = 50000;
+  cfg.days = hours / 24.0;
+  AzureTraceModel model(cfg);
+
+  Trace t;
+  if (kind == "rep") {
+    t = model.sample_representative(n, rps);
+  } else if (kind == "rare") {
+    t = model.sample_rare(n, rps);
+  } else if (kind == "random") {
+    t = model.sample_random(n, rps);
+  } else {
+    std::fprintf(stderr, "unknown sample kind: %s (rep|rare|random)\n",
+                 kind.c_str());
+    return 2;
+  }
+  save_trace(t, prefix);
+  auto s = t.stats();
+  std::printf("wrote %s_{functions,events}.csv: %zu functions, %zu "
+              "invocations, %.1f req/s over %.1f h\n",
+              prefix.c_str(), s.num_functions, s.num_invocations,
+              s.reqs_per_sec, to_sec(t.duration) / 3600.0);
+  return 0;
+}
+
+int cmd_info(char** argv) {
+  Trace t = load_trace(argv[2]);
+  auto s = t.stats();
+  std::printf("trace %s\n", argv[2]);
+  std::printf("  functions:       %zu\n", s.num_functions);
+  std::printf("  invocations:     %zu\n", s.num_invocations);
+  std::printf("  duration:        %.2f h\n", to_sec(t.duration) / 3600.0);
+  std::printf("  request rate:    %.2f /s\n", s.reqs_per_sec);
+  std::printf("  avg IAT:         %.2f ms\n", to_ms(s.avg_iat));
+  std::printf("  Little's-law expected concurrency: %.2f\n",
+              s.expected_concurrency);
+  // Top-5 functions by invocation count.
+  std::vector<std::size_t> counts(t.functions.size(), 0);
+  for (const auto& e : t.events) ++counts[e.fn];
+  std::vector<std::size_t> idx(t.functions.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::sort(idx.begin(), idx.end(),
+            [&](std::size_t a, std::size_t b) { return counts[a] > counts[b]; });
+  std::printf("  top functions:\n");
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, idx.size()); ++i) {
+    const auto& f = t.functions[idx[i]];
+    std::printf("    %-24s %8zu invocations, %u MB, warm %.0f ms, init %.0f ms\n",
+                f.name.c_str(), counts[idx[i]], f.mem_mb, to_ms(f.warm_time),
+                to_ms(f.init_time));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 3 && std::strcmp(argv[1], "gen") == 0) return cmd_gen(argc, argv);
+  if (argc >= 3 && std::strcmp(argv[1], "info") == 0) return cmd_info(argv);
+  std::fprintf(stderr,
+               "usage:\n  %s gen <prefix> [rep|rare|random] [n] [target_rps] "
+               "[hours]\n  %s info <prefix>\n",
+               argv[0], argv[0]);
+  return 2;
+}

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+#include "keepalive/policy.hpp"
+
+/// A container/sandbox as managed by the worker's container layer. State
+/// transitions follow the paper's lifecycle: Provisioning (image/netns) ->
+/// Launching (agent starting) -> Idle <-> Running -> Removed.
+namespace ilu {
+
+using ContainerId = std::uint64_t;
+
+enum class ContainerState {
+  Provisioning,
+  Launching,
+  Idle,
+  Running,
+  Removed,
+};
+
+const char* to_string(ContainerState s);
+
+struct Container {
+  ContainerId id = 0;
+  FunctionId fn = 0;
+  FunctionProfile profile;
+  ContainerState state = ContainerState::Provisioning;
+  /// Keep-alive bookkeeping shared with the cache policies.
+  CacheEntry entry;
+  /// Network namespace assigned from the pool (0 = none yet).
+  std::uint64_t netns_id = 0;
+  /// Whether the cached per-container HTTP client exists yet; the first
+  /// agent call on a fresh container pays connection setup (§4.3.1).
+  bool http_client_cached = false;
+
+  bool runnable() const { return state == ContainerState::Idle; }
+};
+
+/// Legal state transitions; used by the worker in debug builds.
+bool valid_transition(ContainerState from, ContainerState to);
+
+}  // namespace ilu

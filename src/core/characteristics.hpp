@@ -1,0 +1,61 @@
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "util/stats.hpp"
+
+/// Per-function learned execution characteristics (§4.2): moving-window
+/// warm/cold execution times and inter-arrival times. These drive the
+/// size-aware queue policies (SJF/EEDF use expected execution time, RARE
+/// uses IAT) and are exposed to all control-plane components, mirroring the
+/// paper's data-driven policy support.
+namespace ilu {
+
+class CharacteristicsMap {
+ public:
+  explicit CharacteristicsMap(std::size_t window = 10) : window_(window) {}
+
+  /// Ensure slots exist for function ids < n.
+  void ensure(std::size_t n);
+
+  /// Record an arrival (updates IAT tracking).
+  void on_arrival(FunctionId fn, TimePoint now);
+
+  /// Record a completed execution.
+  void record_warm(FunctionId fn, Duration exec);
+  void record_cold(FunctionId fn, Duration exec);
+
+  /// Moving-window expected times; zero when the function is unseen (the
+  /// paper prioritizes new functions by treating their time as 0).
+  Duration expected_warm(FunctionId fn) const;
+  Duration expected_cold(FunctionId fn) const;
+
+  /// Mean inter-arrival time in seconds (0 when < 2 arrivals).
+  double mean_iat_s(FunctionId fn) const;
+
+  std::uint64_t arrivals(FunctionId fn) const;
+  std::uint64_t warm_count(FunctionId fn) const;
+  std::uint64_t cold_count(FunctionId fn) const;
+
+ private:
+  struct FnChars {
+    explicit FnChars(std::size_t window)
+        : warm_ms(window), cold_ms(window) {}
+    MovingWindow warm_ms;
+    MovingWindow cold_ms;
+    Welford iat_s;
+    TimePoint last_arrival{-1};
+    std::uint64_t arrivals = 0;
+    std::uint64_t warm = 0;
+    std::uint64_t cold = 0;
+  };
+
+  const FnChars* find(FunctionId fn) const;
+  FnChars& at(FunctionId fn);
+
+  std::size_t window_;
+  std::vector<FnChars> chars_;
+};
+
+}  // namespace ilu

@@ -1,0 +1,34 @@
+#include "core/energy.hpp"
+
+namespace ilu {
+
+double EnergyMeter::pending(TimePoint now, bool active_only) const {
+  double dt = to_sec(now - last_change_);
+  if (dt <= 0.0) return 0.0;
+  double p = power(demand_);
+  if (active_only) p -= params_.idle_watts;
+  return p * dt;
+}
+
+void EnergyMeter::on_demand_change(TimePoint now, double demand) {
+  joules_ += pending(now, false);
+  active_joules_ += pending(now, true);
+  last_change_ = now;
+  demand_ = demand;
+}
+
+double EnergyMeter::total_joules(TimePoint now) const {
+  return joules_ + pending(now, false);
+}
+
+double EnergyMeter::active_joules(TimePoint now) const {
+  return active_joules_ + pending(now, true);
+}
+
+double EnergyMeter::average_watts(TimePoint now) const {
+  double t = to_sec(now);
+  if (t <= 0.0) return power(demand_);
+  return total_joules(now) / t;
+}
+
+}  // namespace ilu

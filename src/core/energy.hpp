@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.hpp"
+
+/// Server energy model (§6.1: the worker tracks "system energy usage using
+/// RAPL and external power meters"; this testbed has neither, so a linear
+/// CPU power model provides the same signal for research policies).
+///
+/// Package power is modeled as the usual affine function of utilization:
+///   P(u) = idle_watts + (max_watts - idle_watts) * u,  u = demand / cores.
+/// Demand is piecewise constant between CPU-model events, so the integral
+/// is exact: the meter observes every demand change (via
+/// CpuModel::set_demand_observer) and accumulates joules in closed form.
+namespace ilu {
+
+class EnergyMeter {
+ public:
+  struct Params {
+    double idle_watts = 120.0;  // 48-core dual-socket idle floor
+    double max_watts = 420.0;   // package + DRAM at full utilization
+  };
+
+  explicit EnergyMeter(double cores) : EnergyMeter(cores, Params{}) {}
+  EnergyMeter(double cores, Params params)
+      : cores_(cores), params_(params) {}
+
+  /// Demand-change notification: `demand` is the new total core demand,
+  /// effective from time `now` (the previous demand held until now).
+  void on_demand_change(TimePoint now, double demand);
+
+  /// Total energy consumed up to `now` (joules).
+  double total_joules(TimePoint now) const;
+
+  /// Energy attributable to function execution (above the idle floor).
+  double active_joules(TimePoint now) const;
+
+  /// Average power over [0, now] in watts.
+  double average_watts(TimePoint now) const;
+
+ private:
+  double power(double demand) const {
+    double u = demand / cores_;
+    if (u > 1.0) u = 1.0;
+    return params_.idle_watts + (params_.max_watts - params_.idle_watts) * u;
+  }
+  /// Joules accumulated in (last_change_, now] at the current demand.
+  double pending(TimePoint now, bool active_only) const;
+
+  double cores_;
+  Params params_;
+  TimePoint last_change_{};
+  double demand_ = 0.0;
+  double joules_ = 0.0;
+  double active_joules_ = 0.0;
+};
+
+}  // namespace ilu

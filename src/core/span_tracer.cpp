@@ -1,0 +1,15 @@
+#include "core/span_tracer.hpp"
+
+namespace ilu {
+
+double SpanTracer::mean_ms(const std::string& name) const {
+  auto it = summaries_.find(name);
+  return it == summaries_.end() ? 0.0 : it->second.mean();
+}
+
+std::uint64_t SpanTracer::count(const std::string& name) const {
+  auto it = summaries_.find(name);
+  return it == summaries_.end() ? 0 : it->second.count();
+}
+
+}  // namespace ilu

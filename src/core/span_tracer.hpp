@@ -1,0 +1,57 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "util/stats.hpp"
+
+/// Per-component latency tracing (the paper's `tracing`-crate instrumenting,
+/// which produces Table 1). The worker records the latency of every named
+/// span it executes; summaries are grouped the same way Table 1 groups them.
+namespace ilu {
+
+/// Canonical span names, in invocation order (Table 1 rows).
+namespace spans {
+inline constexpr const char* kInvoke = "invoke";
+inline constexpr const char* kSyncInvoke = "sync_invoke";
+inline constexpr const char* kEnqueueInvocation = "enqueue_invocation";
+inline constexpr const char* kAddItemToQ = "add_item_to_q";
+inline constexpr const char* kSpawnWorker = "spawn_worker";
+inline constexpr const char* kDequeue = "dequeue";
+inline constexpr const char* kAcquireContainer = "acquire_container";
+inline constexpr const char* kTryLockContainer = "try_lock_container";
+inline constexpr const char* kPrepareInvoke = "prepare_invoke";
+inline constexpr const char* kCallContainer = "call_container";
+inline constexpr const char* kDownloadResult = "download_result";
+inline constexpr const char* kReturnContainer = "return_container";
+inline constexpr const char* kReturnResults = "return_results";
+}  // namespace spans
+
+class SpanTracer {
+ public:
+  /// Enabled by default; disable to remove all bookkeeping cost (the paper
+  /// ships tracing off by default for the same reason).
+  explicit SpanTracer(bool enabled = true) : enabled_(enabled) {}
+
+  void record(const std::string& name, Duration d) {
+    if (!enabled_) return;
+    summaries_[name].add_ms(d);
+  }
+
+  bool enabled() const { return enabled_; }
+
+  /// Mean latency of a span in ms (0 if never recorded).
+  double mean_ms(const std::string& name) const;
+  std::uint64_t count(const std::string& name) const;
+
+  /// All recorded spans, sorted by name.
+  const std::map<std::string, Summary>& all() const { return summaries_; }
+
+  void clear() { summaries_.clear(); }
+
+ private:
+  bool enabled_;
+  std::map<std::string, Summary> summaries_;
+};
+
+}  // namespace ilu

@@ -1,0 +1,412 @@
+#include "core/worker.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "keepalive/policy.hpp"
+#include "util/log.hpp"
+
+namespace ilu {
+
+namespace {
+/// Table 1 calibration helper: lognormal around the paper's measured median
+/// with a modest tail, plus a rare OS-noise spike.
+LatencyModel tab1(double ms) {
+  return LatencyModel::spiky(LatencyModel::lognormal(msecs(ms), 0.25),
+                             /*p=*/0.0005,
+                             LatencyModel::lognormal(msecs(2.0), 0.8));
+}
+}  // namespace
+
+ControlPlaneLatencies ControlPlaneLatencies::iluvatar_defaults() {
+  ControlPlaneLatencies l;
+  l.invoke = tab1(0.026);
+  l.sync_invoke = tab1(0.013);
+  l.enqueue_invocation = tab1(0.017);
+  l.add_item_to_q = tab1(0.020);
+  l.spawn_worker = tab1(0.029);
+  l.dequeue = tab1(0.020);
+  l.acquire_container = tab1(0.096);
+  l.try_lock_container = tab1(0.014);
+  l.prepare_invoke = tab1(0.154);
+  l.call_container = tab1(1.364);
+  l.download_result = tab1(0.032);
+  l.return_container = tab1(0.017);
+  l.return_results = tab1(0.266);
+  l.http_connect = LatencyModel::lognormal(msecs(3.0), 0.20);
+  return l;
+}
+
+Worker::Worker(Runtime& rt, WorkerConfig cfg)
+    : rt_(rt),
+      cfg_(std::move(cfg)),
+      rng_(cfg_.seed),
+      cpu_(rt, cfg_.cores),
+      ka_policy_(make_policy(cfg_.keepalive_policy)),
+      pool_(rt, *ka_policy_,
+            [&] {
+              auto pc = cfg_.pool;
+              pc.capacity_mb = cfg_.memory_mb;
+              return pc;
+            }(),
+            [this](std::unique_ptr<Container> c) {
+              // Destroy the sandbox off the critical path; memory was
+              // already released by the pool.
+              std::uint64_t ns = c->netns_id;
+              backend_->destroy_container([this, ns](bool) {
+                netns_.release(ns);
+                on_memory_released();
+              });
+            }),
+      netns_(rt, rng_.substream(0x41), cfg_.netns),
+      backend_(std::make_unique<SimContainerBackend>(
+          rt, cpu_, rng_.substream(0x42), cfg_.backend, cfg_.faults)),
+      q_policy_(make_queue_policy(cfg_.queue_policy)),
+      queue_(*q_policy_, chars_),
+      regulator_(cfg_.regulator) {
+  tracer_ = SpanTracer(cfg_.tracing);
+  if (cfg_.predictive_prewarm) {
+    pool_.set_prewarm_requester([this](FunctionId fn, TimePoint at) {
+      if (!started_ || pending_prewarms_.count(fn) > 0) return;
+      pending_prewarms_.insert(fn);
+      Duration delay = at > rt_.now() ? at - rt_.now() : Duration::zero();
+      rt_.schedule(delay, [this, fn] {
+        pending_prewarms_.erase(fn);
+        if (!started_ || pool_.has_idle(fn)) return;
+        prewarm(fn);
+      });
+    });
+  }
+}
+
+Worker::~Worker() { shutdown(); }
+
+void Worker::start() {
+  if (started_) return;
+  started_ = true;
+  pool_.start();
+  if (regulator_.config().dynamic) schedule_regulator_tick();
+}
+
+void Worker::shutdown() {
+  started_ = false;
+  pool_.stop();
+  if (regulator_timer_ != Runtime::kInvalidTimer) {
+    rt_.cancel(regulator_timer_);
+    regulator_timer_ = Runtime::kInvalidTimer;
+  }
+}
+
+void Worker::schedule_regulator_tick() {
+  regulator_timer_ =
+      rt_.schedule(regulator_.config().interval, [this] {
+        regulator_timer_ = Runtime::kInvalidTimer;
+        if (!started_) return;
+        regulator_.tick(cpu_.load_average() / cfg_.cores,
+                        recent_stretch_.mean());
+        pump();
+        schedule_regulator_tick();
+      });
+}
+
+FunctionId Worker::register_function(FunctionProfile profile) {
+  // Image fetch and layer preparation happen out of band (§4.2); only the
+  // registry bookkeeping is on this path.
+  auto id = static_cast<FunctionId>(functions_.size());
+  functions_.push_back(std::move(profile));
+  chars_.ensure(functions_.size());
+  return id;
+}
+
+const FunctionProfile& Worker::profile(FunctionId fn) const {
+  return functions_.at(fn);
+}
+
+double Worker::cp_scale() const {
+  double over = (cpu_.demand() - cfg_.cores) / cfg_.cores;
+  if (over <= 0.0) return 1.0;
+  return 1.0 + cfg_.cp_contention_factor * over;
+}
+
+Duration Worker::span(const char* name, const LatencyModel& model) {
+  Duration d = model.sample(rng_);
+  d = Duration{static_cast<std::int64_t>(
+      static_cast<double>(d.count()) * cp_scale())};
+  tracer_.record(name, d);
+  return d;
+}
+
+void Worker::invoke(FunctionId fn, InvokeCb cb) {
+  if (fn >= functions_.size()) {
+    throw std::out_of_range("invoke: unregistered function");
+  }
+  auto p = std::make_shared<Pending>();
+  p->fn = fn;
+  p->submitted = rt_.now();
+  p->cb = std::move(cb);
+  chars_.on_arrival(fn, p->submitted);
+  // Keep-alive policies observe every arrival (HIST builds its IAT
+  // histograms from this, independent of cache contents).
+  ka_policy_->on_invocation(fn, p->submitted);
+
+  // Ingestion spans (Table 1 group 1).
+  const auto& L = cfg_.latencies;
+  Duration ingest = span(spans::kInvoke, L.invoke) +
+                    span(spans::kSyncInvoke, L.sync_invoke) +
+                    span(spans::kEnqueueInvocation, L.enqueue_invocation) +
+                    span(spans::kAddItemToQ, L.add_item_to_q);
+  p->pre_overhead = ingest;
+  rt_.schedule(ingest, [this, p] { enqueue(p); });
+}
+
+Worker::AsyncToken Worker::async_invoke(FunctionId fn) {
+  AsyncToken token = next_token_++;
+  invoke(fn, [this, token](const InvokeResult& r) {
+    async_results_[token] = r;
+  });
+  return token;
+}
+
+std::optional<InvokeResult> Worker::async_result(AsyncToken token) {
+  auto it = async_results_.find(token);
+  if (it == async_results_.end()) return std::nullopt;
+  InvokeResult r = it->second;
+  async_results_.erase(it);
+  return r;
+}
+
+void Worker::enqueue(PendingPtr p) {
+  // Short-function bypass (§5.1): skip the queue entirely when the function
+  // is known-short and the system is not overloaded.
+  if (cfg_.bypass_threshold > Duration::zero()) {
+    Duration expected = chars_.expected_warm(p->fn);
+    double norm_load = cpu_.load_average() / cfg_.cores;
+    if (expected > Duration::zero() && expected <= cfg_.bypass_threshold &&
+        norm_load < cfg_.bypass_load_limit) {
+      p->bypassed = true;
+      ++bypass_count_;
+      ++running_;
+      dispatch(p);
+      return;
+    }
+  }
+  QueueItem item;
+  item.fn = p->fn;
+  item.arrival = p->submitted;
+  item.dispatch = [this, p] {
+    ++running_;
+    dispatch(p);
+  };
+  queue_.push(std::move(item), pool_.has_idle(p->fn));
+  pump();
+}
+
+void Worker::pump() {
+  while (!queue_.empty() && regulator_.can_dispatch(running_)) {
+    auto item = queue_.pop();
+    item->dispatch();
+  }
+}
+
+void Worker::dispatch(PendingPtr p) {
+  const auto& L = cfg_.latencies;
+  Duration d = span(spans::kSpawnWorker, L.spawn_worker) +
+               span(spans::kDequeue, L.dequeue) +
+               span(spans::kAcquireContainer, L.acquire_container);
+  Container* c = pool_.acquire(p->fn, rt_.now());
+  if (c != nullptr) {
+    d += span(spans::kTryLockContainer, L.try_lock_container);
+    p->pre_overhead += d;
+    rt_.schedule(d, [this, p, c] { launch_exec(p, c, /*cold=*/false); });
+    return;
+  }
+  p->pre_overhead += d;
+  rt_.schedule(d, [this, p] { cold_start(p); });
+}
+
+void Worker::cold_start(PendingPtr p) {
+  std::size_t sync_evictions = 0;
+  Container* c =
+      pool_.add_container(p->fn, functions_[p->fn], rt_.now(), &sync_evictions);
+  if (c == nullptr) {
+    // Memory exhausted by busy containers: park until something frees.
+    --running_;
+    waiting_memory_.push_back(p);
+    return;
+  }
+  // Victims evicted synchronously must be torn down before their memory is
+  // truly reusable: that teardown lands on this invocation's critical path
+  // (the jitter that background eviction with a free buffer avoids,
+  // §4.3.2).
+  Duration evict_penalty{};
+  for (std::size_t i = 0; i < sync_evictions; ++i) {
+    evict_penalty += cfg_.backend.destroy.sample(rng_);
+  }
+  netns_.acquire([this, p, c, evict_penalty](std::uint64_t netns_id,
+                                             Duration penalty) {
+    c->netns_id = netns_id;
+    // The netns penalty (if any) is on the critical path before create.
+    rt_.schedule(penalty + evict_penalty, [this, p, c] {
+      backend_->create_container(functions_[p->fn], [this, p, c](bool ok) {
+        if (!ok) {
+          pool_.remove(c);
+          ++p->create_attempts;
+          if (p->create_attempts <= cfg_.create_retries) {
+            cold_start(p);
+          } else {
+            --running_;
+            fail(p);
+            pump();
+          }
+          return;
+        }
+        c->state = ContainerState::Launching;
+        assert(valid_transition(ContainerState::Launching,
+                                ContainerState::Running));
+        c->state = ContainerState::Running;
+        ++c->entry.uses;
+        c->entry.last_used = rt_.now();
+        launch_exec(p, c, /*cold=*/true);
+      });
+    });
+  });
+}
+
+void Worker::launch_exec(PendingPtr p, Container* c, bool cold) {
+  const auto& L = cfg_.latencies;
+  Duration d = span(spans::kPrepareInvoke, L.prepare_invoke) +
+               span(spans::kCallContainer, L.call_container);
+  if (!c->http_client_cached) {
+    // First call to this container: HTTP client setup (§4.3.1).
+    d += L.http_connect.sample(rng_);
+    c->http_client_cached = true;
+  }
+  p->pre_overhead += d;
+  rt_.schedule(d, [this, p, c, cold] {
+    p->exec_started = rt_.now();
+    double work =
+        to_sec(cold ? functions_[p->fn].cold_time()
+                    : functions_[p->fn].warm_time);
+    backend_->invoke(work, functions_[p->fn].cpus,
+                     [this, p, c, cold](bool ok, Duration actual) {
+                       finish(p, c, cold, ok, actual);
+                     });
+  });
+}
+
+void Worker::finish(PendingPtr p, Container* c, bool cold, bool ok,
+                    Duration actual_exec) {
+  const auto& L = cfg_.latencies;
+  Duration d = span(spans::kDownloadResult, L.download_result) +
+               span(spans::kReturnContainer, L.return_container) +
+               span(spans::kReturnResults, L.return_results);
+  rt_.schedule(d, [this, p, c, cold, ok, actual_exec] {
+    pool_.return_container(c, rt_.now());
+    --running_;
+    if (ok) {
+      InvokeResult r;
+      r.success = true;
+      r.cold = cold;
+      r.bypassed = p->bypassed;
+      r.fn = p->fn;
+      r.submitted = p->submitted;
+      r.exec_started = p->exec_started;
+      r.completed = rt_.now();
+      r.exec_time = actual_exec;
+      r.queue_wait = (p->exec_started - p->submitted) - p->pre_overhead;
+      if (r.queue_wait < Duration::zero()) r.queue_wait = Duration::zero();
+      ++completed_;
+      // Congestion signal per §5.1: "the increase in execution time" —
+      // contention inflation of execution, NOT flow stretch (flow stretch
+      // includes queueing, so shrinking the limit would raise the signal
+      // and death-spiral the controller).
+      Duration base = cold ? functions_[p->fn].cold_time()
+                           : functions_[p->fn].warm_time;
+      if (base > Duration::zero()) {
+        recent_stretch_.add(static_cast<double>(actual_exec.count()) /
+                            static_cast<double>(base.count()));
+      }
+      if (cold) {
+        ++cold_count_;
+        chars_.record_cold(p->fn, actual_exec);
+      } else {
+        ++warm_count_;
+        chars_.record_warm(p->fn, actual_exec);
+      }
+      if (p->cb) p->cb(r);
+    } else {
+      fail(p);
+    }
+    on_memory_released();
+    pump();
+  });
+}
+
+void Worker::fail(PendingPtr p) {
+  ++failure_count_;
+  InvokeResult r;
+  r.success = false;
+  r.fn = p->fn;
+  r.submitted = p->submitted;
+  r.completed = rt_.now();
+  if (p->cb) p->cb(r);
+}
+
+void Worker::on_memory_released() {
+  if (waiting_memory_.empty()) return;
+  // Give parked invocations another chance, preserving arrival order.
+  auto parked = std::move(waiting_memory_);
+  waiting_memory_.clear();
+  for (auto& p : parked) {
+    QueueItem item;
+    item.fn = p->fn;
+    item.arrival = p->submitted;
+    item.dispatch = [this, p] {
+      ++running_;
+      dispatch(p);
+    };
+    queue_.push(std::move(item), pool_.has_idle(p->fn));
+  }
+  pump();
+}
+
+void Worker::prewarm(FunctionId fn, std::function<void(bool)> cb) {
+  if (fn >= functions_.size()) {
+    throw std::out_of_range("prewarm: unregistered function");
+  }
+  Container* c = pool_.add_container(fn, functions_[fn], rt_.now());
+  if (c == nullptr) {
+    if (cb) cb(false);
+    return;
+  }
+  netns_.acquire([this, fn, c, cb](std::uint64_t netns_id, Duration penalty) {
+    c->netns_id = netns_id;
+    rt_.schedule(penalty, [this, fn, c, cb] {
+      backend_->create_container(functions_[fn], [this, c, cb](bool ok) {
+        if (!ok) {
+          pool_.remove(c);
+          if (cb) cb(false);
+          return;
+        }
+        c->state = ContainerState::Launching;
+        pool_.park_prewarmed(c, rt_.now());
+        ++prewarm_count_;
+        if (cb) cb(true);
+      });
+    });
+  });
+}
+
+Worker::Status Worker::status() const {
+  Status s;
+  s.queue_len = queue_.size();
+  s.running = running_;
+  s.load_average = cpu_.load_average();
+  s.normalized_load = s.load_average / cfg_.cores;
+  s.used_mb = pool_.used_mb();
+  s.free_mb = pool_.free_mb();
+  s.concurrency_limit = regulator_.limit();
+  return s;
+}
+
+}  // namespace ilu

@@ -1,0 +1,57 @@
+#pragma once
+
+/// Umbrella header: the full public API of the Ilúvatar/FaasCache
+/// control-plane reproduction.
+///
+/// Layered exactly as DESIGN.md describes:
+///   runtime/   deterministic (SimRuntime) and wall-clock (RealRuntime)
+///              execution engines + latency models
+///   trace/     workloads: FunctionBench profiles, the Azure trace model,
+///              load generators, trace I/O
+///   containers container records, backends (containerd/docker/crun/null
+///              latency profiles), netns pool
+///   keepalive/ caching-based keep-alive: policies (TTL/LRU/FREQ/GD/LND/
+///              HIST), the container pool, the trace simulator, dynamic
+///              provisioning
+///   queueing/  invocation queue disciplines (FCFS/SJF/EEDF/RARE),
+///              concurrency regulator (fixed/AIMD), bypass
+///   core/      the Ilúvatar worker and its substrates (CPU model, span
+///              tracer, function characteristics)
+///   baseline/  the OpenWhisk behavioural model (and FaasCache, via its
+///              keep-alive policy knob)
+///   lb/        CH-BL consistent hashing with bounded loads + cluster
+
+#include "baseline/openwhisk.hpp"
+#include "common/types.hpp"
+#include "containers/backend.hpp"
+#include "containers/container.hpp"
+#include "containers/netns_pool.hpp"
+#include "core/characteristics.hpp"
+#include "core/cpu_model.hpp"
+#include "core/span_tracer.hpp"
+#include "core/energy.hpp"
+#include "core/worker.hpp"
+#include "keepalive/cache.hpp"
+#include "keepalive/policy.hpp"
+#include "keepalive/pool.hpp"
+#include "keepalive/provisioner.hpp"
+#include "keepalive/simulator.hpp"
+#include "lb/chbl.hpp"
+#include "lb/cluster.hpp"
+#include "metrics/report.hpp"
+#include "queueing/invocation_queue.hpp"
+#include "queueing/queue_policy.hpp"
+#include "queueing/regulator.hpp"
+#include "runtime/real_runtime.hpp"
+#include "runtime/sim_runtime.hpp"
+#include "trace/azure.hpp"
+#include "trace/function_profile.hpp"
+#include "trace/loadgen.hpp"
+#include "trace/trace_io.hpp"
+#include "trace/workload.hpp"
+#include "util/csv.hpp"
+#include "util/hash.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/time.hpp"

@@ -1,0 +1,227 @@
+#include "keepalive/cache.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ilu {
+
+KeepAliveCache::KeepAliveCache(KeepAlivePolicy& policy, Config cfg,
+                               std::vector<FunctionProfile> functions)
+    : policy_(policy),
+      cfg_(cfg),
+      functions_(std::move(functions)),
+      next_sweep_(cfg.sweep_interval),
+      capacity_mb_(cfg.capacity_mb),
+      warm_by_fn_(functions_.size(), 0),
+      cold_by_fn_(functions_.size(), 0),
+      dropped_by_fn_(functions_.size(), 0) {}
+
+void KeepAliveCache::insert_into_idle(Node* n) {
+  assert(!n->idle);
+  n->idle = true;
+  n->rank_it = rank_index_.emplace(policy_.eviction_rank(n->entry), n);
+  idle_by_fn_[n->entry.fn].push_back(n);
+}
+
+void KeepAliveCache::remove_from_idle(Node* n) {
+  assert(n->idle);
+  n->idle = false;
+  rank_index_.erase(n->rank_it);
+  auto& vec = idle_by_fn_[n->entry.fn];
+  // Search from the back: warm hits always take the MRU (back) element.
+  for (auto it = vec.rbegin(); it != vec.rend(); ++it) {
+    if (*it == n) {
+      vec.erase(std::next(it).base());
+      break;
+    }
+  }
+}
+
+void KeepAliveCache::destroy(Node* n, bool expired) {
+  if (n->idle) remove_from_idle(n);
+  used_mb_ -= n->entry.mem_mb;
+  policy_.on_evict(n->entry);
+  if (expired) {
+    ++stats_.expirations;
+  } else {
+    ++stats_.evictions;
+  }
+  FunctionId fn = n->entry.fn;
+  // Swap-remove from the owning vector.
+  auto slot_it = node_slot_.find(n);
+  assert(slot_it != node_slot_.end());
+  std::size_t slot = slot_it->second;
+  node_slot_.erase(slot_it);
+  if (slot != nodes_.size() - 1) {
+    nodes_[slot] = std::move(nodes_.back());
+    node_slot_[nodes_[slot].get()] = slot;
+  }
+  nodes_.pop_back();
+  if (expired && cfg_.enable_prewarm) maybe_schedule_prewarm(fn);
+}
+
+bool KeepAliveCache::make_room(std::uint32_t mem_mb) {
+  while (used_mb_ + mem_mb > capacity_mb_ && !rank_index_.empty()) {
+    destroy(rank_index_.begin()->second, /*expired=*/false);
+  }
+  return used_mb_ + mem_mb <= capacity_mb_;
+}
+
+void KeepAliveCache::sweep_expired() {
+  std::vector<Node*> expired;
+  for (auto& [rank, n] : rank_index_) {
+    auto exp = policy_.expires_at(n->entry);
+    if (exp.has_value() && *exp <= now_) expired.push_back(n);
+  }
+  for (Node* n : expired) destroy(n, /*expired=*/true);
+}
+
+void KeepAliveCache::process_release(Node* n) {
+  insert_into_idle(n);
+  --busy_count_;
+}
+
+void KeepAliveCache::maybe_schedule_prewarm(FunctionId fn) {
+  if (prewarm_pending_.count(fn) > 0) return;
+  auto at = policy_.prewarm_at(fn, now_);
+  if (!at.has_value()) return;
+  // Nudge until the key is unique in the time-ordered map.
+  TimePoint key = *at;
+  while (prewarms_.count(key) > 0) key += usecs(1);
+  prewarms_.emplace(key, fn);
+  prewarm_pending_.emplace(fn, key);
+}
+
+void KeepAliveCache::process_prewarm(FunctionId fn, TimePoint) {
+  prewarm_pending_.erase(fn);
+  auto it = idle_by_fn_.find(fn);
+  if (it != idle_by_fn_.end() && !it->second.empty()) return;  // already warm
+  const FunctionProfile& p = functions_.at(fn);
+  // Prewarms are opportunistic: they never evict other containers.
+  if (used_mb_ + p.mem_mb > capacity_mb_) return;
+  auto node = std::make_unique<Node>();
+  node->entry.fn = fn;
+  node->entry.mem_mb = p.mem_mb;
+  node->entry.init_time = p.init_time;
+  node->entry.created = now_;
+  node->entry.last_used = now_;
+  node->entry.uses = 0;
+  policy_.on_access(node->entry, now_);
+  Node* raw = node.get();
+  node_slot_[raw] = nodes_.size();
+  nodes_.push_back(std::move(node));
+  used_mb_ += p.mem_mb;
+  insert_into_idle(raw);
+  ++stats_.prewarm_creates;
+}
+
+void KeepAliveCache::advance_to(TimePoint t) {
+  assert(t >= now_);
+  while (true) {
+    // Find the earliest internal event <= t among releases, sweeps,
+    // prewarms; process in global time order for determinism.
+    TimePoint best = t + usecs(1);
+    int which = -1;  // 0=release, 1=sweep, 2=prewarm
+    if (!releases_.empty() && releases_.top().at <= t) {
+      best = releases_.top().at;
+      which = 0;
+    }
+    if (next_sweep_ <= t && next_sweep_ < best) {
+      best = next_sweep_;
+      which = 1;
+    }
+    if (!prewarms_.empty() && prewarms_.begin()->first <= t &&
+        prewarms_.begin()->first < best) {
+      best = prewarms_.begin()->first;
+      which = 2;
+    }
+    if (which < 0) break;
+    now_ = best;
+    switch (which) {
+      case 0: {
+        Node* n = releases_.top().node;
+        releases_.pop();
+        process_release(n);
+        break;
+      }
+      case 1:
+        sweep_expired();
+        next_sweep_ += cfg_.sweep_interval;
+        break;
+      case 2: {
+        auto it = prewarms_.begin();
+        FunctionId fn = it->second;
+        TimePoint at = it->first;
+        prewarms_.erase(it);
+        process_prewarm(fn, at);
+        break;
+      }
+    }
+  }
+  now_ = t;
+}
+
+KeepAliveCache::Outcome KeepAliveCache::on_invocation(FunctionId fn,
+                                                      TimePoint t) {
+  advance_to(t);
+  const FunctionProfile& p = functions_.at(fn);
+  policy_.on_invocation(fn, t);
+  ++stats_.invocations;
+
+  Outcome out;
+  auto it = idle_by_fn_.find(fn);
+  if (it != idle_by_fn_.end() && !it->second.empty()) {
+    // Warm start: take the most recently used container.
+    Node* n = it->second.back();
+    remove_from_idle(n);
+    ++n->entry.uses;
+    n->entry.last_used = t;
+    policy_.on_access(n->entry, t);
+    ++busy_count_;
+    out.warm = true;
+    out.exec = p.warm_time;
+    releases_.push(Release{t + out.exec, n});
+    ++stats_.warm_starts;
+    ++warm_by_fn_[fn];
+    stats_.total_base_exec += p.warm_time;
+    return out;
+  }
+
+  // Cold start: create a new container, evicting if necessary.
+  if (!make_room(p.mem_mb)) {
+    out.dropped = true;
+    ++stats_.dropped;
+    ++dropped_by_fn_[fn];
+    return out;
+  }
+  auto node = std::make_unique<Node>();
+  node->entry.fn = fn;
+  node->entry.mem_mb = p.mem_mb;
+  node->entry.init_time = p.init_time;
+  node->entry.created = t;
+  node->entry.last_used = t;
+  node->entry.uses = 1;
+  policy_.on_access(node->entry, t);
+  Node* raw = node.get();
+  node_slot_[raw] = nodes_.size();
+  nodes_.push_back(std::move(node));
+  used_mb_ += p.mem_mb;
+  ++busy_count_;
+  out.warm = false;
+  out.exec = p.warm_time + p.init_time;
+  releases_.push(Release{t + out.exec, raw});
+  ++stats_.cold_starts;
+  ++cold_by_fn_[fn];
+  stats_.total_base_exec += p.warm_time;
+  stats_.total_init_paid += p.init_time;
+  return out;
+}
+
+void KeepAliveCache::set_capacity_mb(std::uint64_t mb) {
+  capacity_mb_ = mb;
+  while (used_mb_ > capacity_mb_ && !rank_index_.empty()) {
+    destroy(rank_index_.begin()->second, /*expired=*/false);
+  }
+}
+
+}  // namespace ilu

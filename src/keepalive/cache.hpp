@@ -1,0 +1,143 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "keepalive/policy.hpp"
+#include "trace/workload.hpp"
+
+/// The keep-alive container cache: warm containers are cache entries, a
+/// warm start is a hit, a cold start is a miss that pays the function's
+/// initialization cost and consumes memory capacity.
+///
+/// This is the discrete-event keep-alive simulator the paper uses for its
+/// trace-driven evaluation (Figs 4/5/8): it models container occupancy
+/// (busy containers pin memory), policy-driven eviction, TTL expiry sweeps
+/// (run in the background, off the critical path, per §4.3.2), and
+/// predictive pre-warming for the HIST policy.
+namespace ilu {
+
+class KeepAliveCache {
+ public:
+  struct Config {
+    std::uint64_t capacity_mb = 32 * 1024;
+    /// Allow prefetching policies (HIST) to schedule prewarms.
+    bool enable_prewarm = true;
+    /// Background expiry sweep cadence.
+    Duration sweep_interval = mins(1);
+  };
+
+  struct Outcome {
+    bool warm = false;
+    bool dropped = false;
+    /// Execution time: warm_time, plus init_time on a cold start.
+    Duration exec{};
+  };
+
+  struct Stats {
+    std::uint64_t invocations = 0;
+    std::uint64_t warm_starts = 0;
+    std::uint64_t cold_starts = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t evictions = 0;       // capacity-pressure evictions
+    std::uint64_t expirations = 0;     // TTL/HIST expiry removals
+    std::uint64_t prewarm_creates = 0;
+    Duration total_base_exec{};
+    Duration total_init_paid{};
+
+    double cold_fraction() const {
+      std::uint64_t served = warm_starts + cold_starts;
+      if (served == 0) return 0.0;
+      return static_cast<double>(cold_starts) / static_cast<double>(served);
+    }
+    /// The paper's "increase in execution time due to cold starts",
+    /// averaged across all invocations, in percent.
+    double exec_increase_pct() const {
+      if (total_base_exec <= Duration::zero()) return 0.0;
+      return 100.0 * static_cast<double>(total_init_paid.count()) /
+             static_cast<double>(total_base_exec.count());
+    }
+  };
+
+  KeepAliveCache(KeepAlivePolicy& policy, Config cfg,
+                 std::vector<FunctionProfile> functions);
+
+  /// Process all internal events (busy releases, expiry sweeps, prewarms)
+  /// with deadline <= t, in time order.
+  void advance_to(TimePoint t);
+
+  /// Handle an invocation arriving at time t (t must be non-decreasing
+  /// across calls). Advances internal time first.
+  Outcome on_invocation(FunctionId fn, TimePoint t);
+
+  /// Dynamic vertical scaling: change capacity; shrinking evicts idle
+  /// containers as needed (busy containers cannot be reclaimed).
+  void set_capacity_mb(std::uint64_t mb);
+
+  std::uint64_t capacity_mb() const { return capacity_mb_; }
+  std::uint64_t used_mb() const { return used_mb_; }
+  std::size_t idle_count() const { return rank_index_.size(); }
+  std::size_t busy_count() const { return busy_count_; }
+  const Stats& stats() const { return stats_; }
+  const std::vector<std::uint64_t>& warm_by_fn() const { return warm_by_fn_; }
+  const std::vector<std::uint64_t>& cold_by_fn() const { return cold_by_fn_; }
+  const std::vector<std::uint64_t>& dropped_by_fn() const {
+    return dropped_by_fn_;
+  }
+
+ private:
+  struct Node {
+    CacheEntry entry;
+    bool idle = false;
+    /// Valid while idle: position in the eviction rank index.
+    std::multimap<double, Node*>::iterator rank_it;
+  };
+
+  void remove_from_idle(Node* n);
+  void insert_into_idle(Node* n);
+  void destroy(Node* n, bool expired);
+  /// Evict lowest-ranked idle containers until `mem_mb` fits. Returns false
+  /// if impossible (busy containers pin too much memory).
+  bool make_room(std::uint32_t mem_mb);
+  void sweep_expired();
+  void process_release(Node* n);
+  void maybe_schedule_prewarm(FunctionId fn);
+  void process_prewarm(FunctionId fn, TimePoint scheduled);
+
+  KeepAlivePolicy& policy_;
+  Config cfg_;
+  std::vector<FunctionProfile> functions_;
+
+  TimePoint now_{};
+  TimePoint next_sweep_{};
+  std::uint64_t capacity_mb_;
+  std::uint64_t used_mb_ = 0;
+  std::size_t busy_count_ = 0;
+
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::unordered_map<Node*, std::size_t> node_slot_;
+  std::unordered_map<FunctionId, std::vector<Node*>> idle_by_fn_;
+  std::multimap<double, Node*> rank_index_;
+
+  struct Release {
+    TimePoint at;
+    Node* node;
+    bool operator>(const Release& o) const { return at > o.at; }
+  };
+  std::priority_queue<Release, std::vector<Release>, std::greater<>> releases_;
+
+  /// fn -> scheduled prewarm time (at most one pending per function).
+  std::map<TimePoint, FunctionId> prewarms_;
+  std::unordered_map<FunctionId, TimePoint> prewarm_pending_;
+
+  Stats stats_;
+  std::vector<std::uint64_t> warm_by_fn_;
+  std::vector<std::uint64_t> cold_by_fn_;
+  std::vector<std::uint64_t> dropped_by_fn_;
+};
+
+}  // namespace ilu

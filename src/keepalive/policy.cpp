@@ -1,0 +1,106 @@
+#include "keepalive/policy.hpp"
+
+#include <stdexcept>
+
+namespace ilu {
+
+HistPolicy::HistPolicy() : HistPolicy(Params{}) {}
+
+HistPolicy::HistPolicy(Params p) : params_(p) {}
+
+void HistPolicy::on_invocation(FunctionId fn, TimePoint now) {
+  auto [it, inserted] = hists_.try_emplace(fn, params_);
+  FnHist& h = it->second;
+  if (h.last_invocation >= TimePoint::zero() && !inserted) {
+    double iat_s = to_sec(now - h.last_invocation);
+    h.iat.add(iat_s);
+    h.stats.add(iat_s);
+  }
+  h.last_invocation = now;
+}
+
+const HistPolicy::FnHist* HistPolicy::find(FunctionId fn) const {
+  auto it = hists_.find(fn);
+  return it == hists_.end() ? nullptr : &it->second;
+}
+
+bool HistPolicy::predictable(FunctionId fn) const {
+  const FnHist* h = find(fn);
+  return h != nullptr && h->stats.count() >= params_.min_samples &&
+         h->stats.cov() <= params_.cov_threshold;
+}
+
+double HistPolicy::cov(FunctionId fn) const {
+  const FnHist* h = find(fn);
+  return h == nullptr ? 0.0 : h->stats.cov();
+}
+
+Duration HistPolicy::window_for(FunctionId fn) const {
+  if (!predictable(fn)) return params_.generic_ttl;
+  const FnHist* h = find(fn);
+  // Keep alive until the tail of the observed IAT distribution (plus one
+  // bucket of margin): by then the next invocation should have arrived.
+  double tail_s = h->iat.quantile_upper_bound(params_.tail_quantile);
+  return secs(tail_s) + params_.bucket;
+}
+
+std::optional<TimePoint> HistPolicy::predicted_next(FunctionId fn) const {
+  const FnHist* h = find(fn);
+  if (h == nullptr || h->last_invocation < TimePoint::zero()) {
+    return std::nullopt;
+  }
+  if (!predictable(fn)) return std::nullopt;
+  // Lower edge of the head bucket: the earliest plausible next arrival.
+  // (Using the upper edge would schedule prewarms at or after the arrival
+  // and lose the race.)
+  double head_s = h->iat.quantile_lower_bound(params_.head_quantile);
+  return h->last_invocation + secs(head_s);
+}
+
+std::optional<TimePoint> HistPolicy::expires_at(const CacheEntry& e) const {
+  if (!predictable(e.fn)) return e.last_used + params_.generic_ttl;
+  // Eager eviction: if the predicted next arrival ("head" of the histogram)
+  // is well beyond the linger window, release the memory now and rely on
+  // the prewarm to bring the container back just in time.
+  auto next = predicted_next(e.fn);
+  if (next.has_value() && *next > e.last_used + 2 * params_.linger) {
+    return e.last_used + params_.linger;
+  }
+  return e.last_used + window_for(e.fn);
+}
+
+std::optional<TimePoint> HistPolicy::prewarm_at(FunctionId fn,
+                                                TimePoint now) const {
+  auto next = predicted_next(fn);
+  if (!next.has_value()) return std::nullopt;
+  // Aim one linger window ahead of the predicted arrival; never in the past.
+  TimePoint target = *next - params_.linger;
+  if (target < now) target = now;
+  return target;
+}
+
+double HistPolicy::eviction_rank(const CacheEntry& e) const {
+  // Under memory pressure evict the container whose next use is predicted
+  // to be furthest away (unpredictable functions count as generic-TTL far).
+  const FnHist* h = find(e.fn);
+  TimePoint next;
+  if (h != nullptr && predictable(e.fn)) {
+    double median_s = h->iat.quantile_upper_bound(0.5);
+    next = h->last_invocation + secs(median_s);
+  } else {
+    next = e.last_used + params_.generic_ttl;
+  }
+  return -static_cast<double>(next.count());
+}
+
+std::unique_ptr<KeepAlivePolicy> make_policy(const std::string& name) {
+  if (name == "TTL") return std::make_unique<TtlPolicy>();
+  if (name == "LRU") return std::make_unique<LruPolicy>();
+  if (name == "FREQ") return std::make_unique<LfuPolicy>();
+  if (name == "GD") return std::make_unique<GreedyDualPolicy>();
+  if (name == "LND") return std::make_unique<LandlordPolicy>();
+  if (name == "HIST") return std::make_unique<HistPolicy>();
+  throw std::invalid_argument("unknown keep-alive policy: " + name);
+}
+
+}  // namespace ilu

@@ -1,0 +1,195 @@
+#include "keepalive/pool.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ilu {
+
+ContainerPool::ContainerPool(Runtime& rt, KeepAlivePolicy& policy, Config cfg,
+                             EvictFn on_evict)
+    : rt_(rt),
+      policy_(policy),
+      cfg_(cfg),
+      on_evict_(std::move(on_evict)),
+      capacity_mb_(cfg.capacity_mb) {}
+
+ContainerPool::~ContainerPool() { stop(); }
+
+void ContainerPool::start() {
+  if (running_ || cfg_.sweep_interval <= Duration::zero()) return;
+  running_ = true;
+  schedule_sweep();
+}
+
+void ContainerPool::stop() {
+  running_ = false;
+  if (sweep_timer_ != Runtime::kInvalidTimer) {
+    rt_.cancel(sweep_timer_);
+    sweep_timer_ = Runtime::kInvalidTimer;
+  }
+}
+
+void ContainerPool::schedule_sweep() {
+  sweep_timer_ = rt_.schedule(cfg_.sweep_interval, [this] {
+    sweep_timer_ = Runtime::kInvalidTimer;
+    if (!running_) return;
+    sweep(rt_.now());
+    if (running_) schedule_sweep();
+  });
+}
+
+void ContainerPool::insert_idle(Container* c) {
+  assert(c->state == ContainerState::Idle);
+  rank_pos_[c] = idle_rank_.emplace(policy_.eviction_rank(c->entry), c);
+  idle_by_fn_[c->fn].push_back(c);
+}
+
+void ContainerPool::remove_idle(Container* c) {
+  auto it = rank_pos_.find(c);
+  assert(it != rank_pos_.end());
+  idle_rank_.erase(it->second);
+  rank_pos_.erase(it);
+  auto& vec = idle_by_fn_[c->fn];
+  for (auto rit = vec.rbegin(); rit != vec.rend(); ++rit) {
+    if (*rit == c) {
+      vec.erase(std::next(rit).base());
+      break;
+    }
+  }
+}
+
+std::unique_ptr<Container> ContainerPool::extract(Container* c) {
+  auto it = containers_.find(c);
+  assert(it != containers_.end());
+  auto owned = std::move(it->second);
+  containers_.erase(it);
+  used_mb_ -= c->profile.mem_mb;
+  return owned;
+}
+
+void ContainerPool::evict_one(Container* c, bool expired) {
+  assert(c->state == ContainerState::Idle);
+  remove_idle(c);
+  policy_.on_evict(c->entry);
+  if (expired) {
+    ++expirations_;
+  } else {
+    ++evictions_;
+  }
+  auto owned = extract(c);
+  owned->state = ContainerState::Removed;
+  if (on_evict_) on_evict_(std::move(owned));
+}
+
+bool ContainerPool::make_room(std::uint32_t mem_mb) {
+  while (used_mb_ + mem_mb > capacity_mb_ && !idle_rank_.empty()) {
+    evict_one(idle_rank_.begin()->second, /*expired=*/false);
+  }
+  return used_mb_ + mem_mb <= capacity_mb_;
+}
+
+Container* ContainerPool::acquire(FunctionId fn, TimePoint now) {
+  auto it = idle_by_fn_.find(fn);
+  if (it == idle_by_fn_.end() || it->second.empty()) return nullptr;
+  Container* c = it->second.back();
+  remove_idle(c);
+  c->state = ContainerState::Running;
+  ++c->entry.uses;
+  c->entry.last_used = now;
+  policy_.on_access(c->entry, now);
+  return c;
+}
+
+Container* ContainerPool::add_container(FunctionId fn,
+                                        const FunctionProfile& profile,
+                                        TimePoint now,
+                                        std::size_t* sync_evictions) {
+  std::uint64_t evictions_before = evictions_;
+  if (!make_room(profile.mem_mb)) {
+    if (sync_evictions != nullptr) {
+      *sync_evictions = evictions_ - evictions_before;
+    }
+    return nullptr;
+  }
+  if (sync_evictions != nullptr) {
+    *sync_evictions = evictions_ - evictions_before;
+  }
+  auto owned = std::make_unique<Container>();
+  Container* c = owned.get();
+  c->id = next_id_++;
+  c->fn = fn;
+  c->profile = profile;
+  c->state = ContainerState::Provisioning;
+  c->entry.fn = fn;
+  c->entry.mem_mb = profile.mem_mb;
+  c->entry.init_time = profile.init_time;
+  c->entry.created = now;
+  c->entry.last_used = now;
+  c->entry.uses = 0;
+  used_mb_ += profile.mem_mb;
+  containers_.emplace(c, std::move(owned));
+  return c;
+}
+
+void ContainerPool::return_container(Container* c, TimePoint now) {
+  assert(c->state == ContainerState::Running);
+  c->state = ContainerState::Idle;
+  c->entry.last_used = now;
+  policy_.on_access(c->entry, now);
+  insert_idle(c);
+}
+
+void ContainerPool::park_prewarmed(Container* c, TimePoint now) {
+  assert(c->state == ContainerState::Launching);
+  c->state = ContainerState::Idle;
+  c->entry.last_used = now;
+  policy_.on_access(c->entry, now);
+  insert_idle(c);
+}
+
+void ContainerPool::remove(Container* c) {
+  if (c->state == ContainerState::Idle) remove_idle(c);
+  auto owned = extract(c);
+  owned->state = ContainerState::Removed;
+  // Not an eviction: creation failure or shutdown; no policy notification.
+}
+
+bool ContainerPool::has_idle(FunctionId fn) const {
+  auto it = idle_by_fn_.find(fn);
+  return it != idle_by_fn_.end() && !it->second.empty();
+}
+
+void ContainerPool::set_capacity_mb(std::uint64_t mb) {
+  capacity_mb_ = mb;
+  while (used_mb_ > capacity_mb_ && !idle_rank_.empty()) {
+    evict_one(idle_rank_.begin()->second, /*expired=*/false);
+  }
+}
+
+void ContainerPool::sweep(TimePoint now) {
+  // Phase 1: policy-driven expiry (TTL and friends).
+  std::vector<Container*> expired;
+  for (auto& [rank, c] : idle_rank_) {
+    auto exp = policy_.expires_at(c->entry);
+    if (exp.has_value() && *exp <= now) expired.push_back(c);
+  }
+  for (Container* c : expired) {
+    FunctionId fn = c->fn;
+    evict_one(c, /*expired=*/true);
+    // Prefetching policies may want the container back before the next
+    // predicted arrival (HIST's eager-evict + prewarm pattern).
+    if (on_prewarm_request_ && !has_idle(fn)) {
+      if (auto at = policy_.prewarm_at(fn, now)) {
+        on_prewarm_request_(fn, *at);
+      }
+    }
+  }
+
+  // Phase 2: keep a free-memory buffer available for bursts.
+  while (capacity_mb_ - used_mb_ < cfg_.free_buffer_mb &&
+         !idle_rank_.empty()) {
+    evict_one(idle_rank_.begin()->second, /*expired=*/false);
+  }
+}
+
+}  // namespace ilu

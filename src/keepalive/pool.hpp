@@ -1,0 +1,125 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "containers/container.hpp"
+#include "keepalive/policy.hpp"
+#include "runtime/runtime.hpp"
+
+/// The worker's keep-alive container pool (§4.3.1): tracks every in-use and
+/// available container per function, accounts server memory, and performs
+/// eviction *asynchronously* in a background sweep (§4.3.2) that maintains a
+/// free-memory buffer for invocation bursts — instead of picking victims on
+/// the invoke critical path.
+namespace ilu {
+
+class ContainerPool {
+ public:
+  struct Config {
+    std::uint64_t capacity_mb = 32 * 1024;
+    /// The background sweep evicts idle containers until at least this much
+    /// memory is free (0 disables the buffer).
+    std::uint64_t free_buffer_mb = 2048;
+    /// Background sweep cadence; zero disables background eviction entirely
+    /// (the synchronous-eviction ablation).
+    Duration sweep_interval = msecs(500);
+  };
+
+  /// Ownership of evicted containers is handed back to the worker, which
+  /// destroys the sandbox via the backend off the critical path.
+  using EvictFn = std::function<void(std::unique_ptr<Container>)>;
+  /// Prefetching policies (HIST) can ask for a container to be pre-warmed
+  /// at an absolute time after an expiry removed the last warm one; the
+  /// worker schedules the actual prewarm.
+  using PrewarmRequestFn = std::function<void(FunctionId, TimePoint)>;
+
+  ContainerPool(Runtime& rt, KeepAlivePolicy& policy, Config cfg,
+                EvictFn on_evict);
+
+  void set_prewarm_requester(PrewarmRequestFn fn) {
+    on_prewarm_request_ = std::move(fn);
+  }
+  ~ContainerPool();
+
+  ContainerPool(const ContainerPool&) = delete;
+  ContainerPool& operator=(const ContainerPool&) = delete;
+
+  /// Begin/end background sweeping.
+  void start();
+  void stop();
+
+  /// Take the most-recently-used idle container of `fn` for an invocation
+  /// (Idle -> Running). Returns nullptr when none is available.
+  Container* acquire(FunctionId fn, TimePoint now);
+
+  /// Reserve memory and register a brand-new container (cold start or
+  /// prewarm). Synchronously evicts idle containers if the buffer could not
+  /// keep up; when `sync_evictions` is non-null it receives the number of
+  /// victims removed on this call (the caller pays their teardown on the
+  /// critical path — exactly the jitter §4.3.2's background eviction
+  /// avoids). Returns nullptr when memory cannot be found (busy containers
+  /// pin it). The returned container is in Provisioning state.
+  Container* add_container(FunctionId fn, const FunctionProfile& profile,
+                           TimePoint now,
+                           std::size_t* sync_evictions = nullptr);
+
+  /// Running -> Idle; the container becomes available for reuse.
+  void return_container(Container* c, TimePoint now);
+
+  /// Park a freshly launched prewarm container (Launching -> Idle).
+  void park_prewarmed(Container* c, TimePoint now);
+
+  /// Remove a container in any state (creation failure, shutdown).
+  void remove(Container* c);
+
+  bool has_idle(FunctionId fn) const;
+  std::size_t idle_count() const { return rank_index_.size(); }
+  std::size_t total_count() const { return containers_.size(); }
+  std::uint64_t used_mb() const { return used_mb_; }
+  std::uint64_t capacity_mb() const { return capacity_mb_; }
+  std::uint64_t free_mb() const { return capacity_mb_ - used_mb_; }
+  void set_capacity_mb(std::uint64_t mb);
+
+  std::uint64_t evictions() const { return evictions_; }
+  std::uint64_t expirations() const { return expirations_; }
+
+  /// One background sweep: expire per policy, then restore the free buffer.
+  /// Public so tests and the sync-eviction ablation can drive it directly.
+  void sweep(TimePoint now);
+
+ private:
+  void insert_idle(Container* c);
+  void remove_idle(Container* c);
+  std::unique_ptr<Container> extract(Container* c);
+  void evict_one(Container* c, bool expired);
+  bool make_room(std::uint32_t mem_mb);
+  void schedule_sweep();
+
+  Runtime& rt_;
+  KeepAlivePolicy& policy_;
+  Config cfg_;
+  EvictFn on_evict_;
+  PrewarmRequestFn on_prewarm_request_;
+
+  std::uint64_t capacity_mb_;
+  std::uint64_t used_mb_ = 0;
+  ContainerId next_id_ = 1;
+
+  std::unordered_map<Container*, std::unique_ptr<Container>> containers_;
+  std::unordered_map<FunctionId, std::vector<Container*>> idle_by_fn_;
+  std::multimap<double, Container*> idle_rank_;
+  std::multimap<double, Container*>& rank_index_ = idle_rank_;
+  std::unordered_map<Container*, std::multimap<double, Container*>::iterator>
+      rank_pos_;
+
+  bool running_ = false;
+  Runtime::TimerId sweep_timer_ = Runtime::kInvalidTimer;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t expirations_ = 0;
+};
+
+}  // namespace ilu

@@ -1,0 +1,51 @@
+#include "keepalive/simulator.hpp"
+
+#include "keepalive/policy.hpp"
+
+namespace ilu {
+
+KeepAliveSimResult run_keepalive_sim(const Trace& trace,
+                                     const std::string& policy_name,
+                                     std::uint64_t capacity_mb,
+                                     bool enable_prewarm) {
+  auto policy = make_policy(policy_name);
+  return run_keepalive_sim_with(trace, *policy, capacity_mb, enable_prewarm);
+}
+
+KeepAliveSimResult run_keepalive_sim_with(const Trace& trace,
+                                          KeepAlivePolicy& policy,
+                                          std::uint64_t capacity_mb,
+                                          bool enable_prewarm) {
+  KeepAliveCache::Config cfg;
+  cfg.capacity_mb = capacity_mb;
+  cfg.enable_prewarm = enable_prewarm;
+  KeepAliveCache cache(policy, cfg, trace.functions);
+  for (const auto& e : trace.events) {
+    cache.on_invocation(e.fn, e.at);
+  }
+  cache.advance_to(trace.duration > Duration::zero()
+                       ? std::max(trace.duration,
+                                  trace.events.empty()
+                                      ? trace.duration
+                                      : trace.events.back().at)
+                       : (trace.events.empty() ? TimePoint{}
+                                               : trace.events.back().at));
+  KeepAliveSimResult r;
+  r.policy = policy.name();
+  r.capacity_mb = capacity_mb;
+  r.stats = cache.stats();
+  return r;
+}
+
+std::vector<KeepAliveSimResult> sweep_cache_sizes(
+    const Trace& trace, const std::string& policy_name,
+    const std::vector<std::uint64_t>& capacities_mb) {
+  std::vector<KeepAliveSimResult> out;
+  out.reserve(capacities_mb.size());
+  for (auto mb : capacities_mb) {
+    out.push_back(run_keepalive_sim(trace, policy_name, mb));
+  }
+  return out;
+}
+
+}  // namespace ilu

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "keepalive/cache.hpp"
+
+/// Trace-driven keep-alive evaluation (the paper's Figs 4 and 5): replay an
+/// Azure-derived trace through a KeepAliveCache under a given policy and
+/// server memory size, and report cold-start fraction and the increase in
+/// execution time caused by cold starts.
+namespace ilu {
+
+struct KeepAliveSimResult {
+  std::string policy;
+  std::uint64_t capacity_mb = 0;
+  KeepAliveCache::Stats stats;
+
+  double cold_fraction() const { return stats.cold_fraction(); }
+  double exec_increase_pct() const { return stats.exec_increase_pct(); }
+};
+
+/// Replay `trace` under a fresh policy instance named `policy_name`.
+KeepAliveSimResult run_keepalive_sim(const Trace& trace,
+                                     const std::string& policy_name,
+                                     std::uint64_t capacity_mb,
+                                     bool enable_prewarm = true);
+
+/// Replay under a caller-provided policy instance (needed for policies that
+/// cannot be built by name, e.g. the clairvoyant oracle which requires the
+/// trace at construction).
+KeepAliveSimResult run_keepalive_sim_with(const Trace& trace,
+                                          KeepAlivePolicy& policy,
+                                          std::uint64_t capacity_mb,
+                                          bool enable_prewarm = true);
+
+/// Sweep of cache sizes for one policy (one curve of Fig 4/5).
+std::vector<KeepAliveSimResult> sweep_cache_sizes(
+    const Trace& trace, const std::string& policy_name,
+    const std::vector<std::uint64_t>& capacities_mb);
+
+}  // namespace ilu

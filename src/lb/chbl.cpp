@@ -1,0 +1,85 @@
+#include "lb/chbl.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace ilu {
+
+void ConsistentHashRing::add_worker(std::size_t worker_index) {
+  for (std::size_t v = 0; v < vnodes_; ++v) {
+    std::uint64_t point =
+        splitmix64(hash_combine(splitmix64(worker_index + 1), v));
+    ring_.emplace(point, worker_index);
+  }
+  ++workers_;
+}
+
+void ConsistentHashRing::remove_worker(std::size_t worker_index) {
+  for (auto it = ring_.begin(); it != ring_.end();) {
+    if (it->second == worker_index) {
+      it = ring_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (workers_ > 0) --workers_;
+}
+
+std::vector<std::size_t> ConsistentHashRing::candidates(
+    std::string_view key) const {
+  std::vector<std::size_t> out;
+  if (ring_.empty()) return out;
+  out.reserve(workers_);
+  // FNV-1a alone clusters similar short names (fn_1/fn_2/... differ only in
+  // the low bits); finalize with splitmix64 to spread them over the ring.
+  std::uint64_t h = splitmix64(fnv1a64(key));
+  auto start = ring_.lower_bound(h);
+  auto it = start;
+  // Walk the whole ring once, collecting each distinct worker in order.
+  for (std::size_t steps = 0; steps < ring_.size() && out.size() < workers_;
+       ++steps) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (std::find(out.begin(), out.end(), it->second) == out.end()) {
+      out.push_back(it->second);
+    }
+    ++it;
+  }
+  return out;
+}
+
+ChblBalancer::ChblBalancer(std::size_t num_workers)
+    : ChblBalancer(num_workers, Config{}) {}
+
+ChblBalancer::ChblBalancer(std::size_t num_workers, Config cfg)
+    : cfg_(cfg), ring_(cfg.vnodes_per_worker) {
+  for (std::size_t i = 0; i < num_workers; ++i) ring_.add_worker(i);
+}
+
+std::size_t ChblBalancer::pick(std::string_view fn_key,
+                               const std::vector<double>& loads) const {
+  assert(!loads.empty());
+  double avg = 0.0;
+  for (double l : loads) avg += l;
+  avg /= static_cast<double>(loads.size());
+  double bound = cfg_.bound_factor * std::max(1.0, avg);
+
+  auto cands = ring_.candidates(fn_key);
+  last_hops_ = 0;
+  for (std::size_t w : cands) {
+    if (loads[w] <= bound) return w;
+    ++last_hops_;
+  }
+  // Everyone over the bound: fall back to the least-loaded worker.
+  std::size_t best = 0;
+  double best_load = std::numeric_limits<double>::infinity();
+  for (std::size_t w = 0; w < loads.size(); ++w) {
+    if (loads[w] < best_load) {
+      best_load = loads[w];
+      best = w;
+    }
+  }
+  return best;
+}
+
+}  // namespace ilu

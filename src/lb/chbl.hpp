@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/hash.hpp"
+
+/// Consistent hashing with bounded loads (CH-BL), the locality-aware,
+/// stateless load-balancing scheme the paper adopts (§4.1): a function
+/// hashes to a home worker so repeat invocations hit its warm containers,
+/// but when that worker's load exceeds `bound x cluster average`, the
+/// invocation is forwarded clockwise to the next worker under the bound.
+namespace ilu {
+
+class ConsistentHashRing {
+ public:
+  explicit ConsistentHashRing(std::size_t vnodes_per_worker = 64)
+      : vnodes_(vnodes_per_worker) {}
+
+  void add_worker(std::size_t worker_index);
+  void remove_worker(std::size_t worker_index);
+  std::size_t num_workers() const { return workers_; }
+
+  /// Workers in ring order starting at the hash of `key`, each distinct
+  /// worker listed once.
+  std::vector<std::size_t> candidates(std::string_view key) const;
+
+ private:
+  std::size_t vnodes_;
+  std::size_t workers_ = 0;
+  /// point on ring -> worker index
+  std::map<std::uint64_t, std::size_t> ring_;
+};
+
+/// The bounded-loads walk. Loads are supplied by the caller (queue length +
+/// running count per the paper's "true load" signal).
+class ChblBalancer {
+ public:
+  struct Config {
+    /// Forward when load > bound_factor * max(1, average load).
+    double bound_factor = 2.0;
+    std::size_t vnodes_per_worker = 64;
+  };
+
+  explicit ChblBalancer(std::size_t num_workers);
+  ChblBalancer(std::size_t num_workers, Config cfg);
+
+  /// Pick a worker for `fn_key` given current per-worker loads. Returns the
+  /// first candidate within the bound, or the least-loaded worker if all
+  /// exceed it.
+  std::size_t pick(std::string_view fn_key,
+                   const std::vector<double>& loads) const;
+
+  /// How many forwarding hops the last pick made (for locality metrics).
+  std::size_t last_hops() const { return last_hops_; }
+
+ private:
+  Config cfg_;
+  ConsistentHashRing ring_;
+  mutable std::size_t last_hops_ = 0;
+};
+
+}  // namespace ilu

@@ -1,0 +1,83 @@
+#include "lb/cluster.hpp"
+
+#include <limits>
+
+namespace ilu {
+
+Cluster::Cluster(Runtime& rt, ClusterConfig cfg)
+    : rt_(rt),
+      cfg_(cfg),
+      rng_(cfg.seed),
+      chbl_(cfg.num_workers, cfg.chbl),
+      routed_(cfg.num_workers, 0) {
+  for (std::size_t i = 0; i < cfg_.num_workers; ++i) {
+    WorkerConfig wc = cfg_.worker;
+    wc.name = "worker" + std::to_string(i);
+    wc.seed = cfg_.worker.seed + i * 7919;
+    workers_.push_back(std::make_unique<Worker>(rt_, wc));
+  }
+}
+
+void Cluster::start() {
+  for (auto& w : workers_) w->start();
+}
+
+void Cluster::shutdown() {
+  for (auto& w : workers_) w->shutdown();
+}
+
+FunctionId Cluster::register_function(const FunctionProfile& profile) {
+  FunctionId id = 0;
+  for (auto& w : workers_) id = w->register_function(profile);
+  fn_keys_.push_back(profile.name + "#" + std::to_string(fn_keys_.size()));
+  return id;
+}
+
+std::size_t Cluster::route(FunctionId fn) {
+  switch (cfg_.lb) {
+    case LbPolicy::RoundRobin: {
+      std::size_t w = rr_next_;
+      rr_next_ = (rr_next_ + 1) % workers_.size();
+      return w;
+    }
+    case LbPolicy::LeastLoaded: {
+      std::size_t best = 0;
+      double best_load = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < workers_.size(); ++i) {
+        auto s = workers_[i]->status();
+        double load = static_cast<double>(s.queue_len + s.running);
+        if (load < best_load) {
+          best_load = load;
+          best = i;
+        }
+      }
+      return best;
+    }
+    case LbPolicy::ChBl: {
+      std::vector<double> loads(workers_.size());
+      for (std::size_t i = 0; i < workers_.size(); ++i) {
+        auto s = workers_[i]->status();
+        loads[i] = static_cast<double>(s.queue_len + s.running);
+      }
+      std::size_t w = chbl_.pick(fn_keys_.at(fn), loads);
+      if (chbl_.last_hops() > 0) ++forwarded_;
+      return w;
+    }
+  }
+  return 0;
+}
+
+void Cluster::invoke(FunctionId fn, Worker::InvokeCb cb) {
+  std::size_t w = route(fn);
+  ++routed_[w];
+  // Model the LB -> worker RPC hop both ways.
+  Duration out_hop = cfg_.rpc.sample(rng_);
+  rt_.schedule(out_hop, [this, w, fn, cb = std::move(cb)]() mutable {
+    workers_[w]->invoke(fn, [this, cb = std::move(cb)](const InvokeResult& r) {
+      Duration back_hop = cfg_.rpc.sample(rng_);
+      rt_.schedule(back_hop, [cb, r] { cb(r); });
+    });
+  });
+}
+
+}  // namespace ilu

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/worker.hpp"
+#include "lb/chbl.hpp"
+#include "runtime/latency.hpp"
+
+/// A cluster of Ilúvatar workers behind a stateless load balancer (§4.1).
+/// The balancer reads each worker's status (queue length + running count —
+/// the paper's low-staleness load signal) and routes with CH-BL; RR and
+/// least-loaded are included for comparison experiments.
+namespace ilu {
+
+enum class LbPolicy { ChBl, RoundRobin, LeastLoaded };
+
+struct ClusterConfig {
+  std::size_t num_workers = 4;
+  WorkerConfig worker{};
+  LbPolicy lb = LbPolicy::ChBl;
+  ChblBalancer::Config chbl{};
+  /// Network hop between load balancer and worker.
+  LatencyModel rpc = LatencyModel::lognormal(usecs(250), 0.3);
+  std::uint64_t seed = 21;
+};
+
+class Cluster {
+ public:
+  Cluster(Runtime& rt, ClusterConfig cfg);
+
+  void start();
+  void shutdown();
+
+  /// Registers the function on every worker (functions can run anywhere).
+  FunctionId register_function(const FunctionProfile& profile);
+
+  /// Route and invoke; cb fires with the worker's result.
+  void invoke(FunctionId fn, Worker::InvokeCb cb);
+
+  std::size_t num_workers() const { return workers_.size(); }
+  Worker& worker(std::size_t i) { return *workers_.at(i); }
+
+  /// Invocations routed to each worker (locality / balance metrics).
+  const std::vector<std::uint64_t>& routed() const { return routed_; }
+  /// Invocations that were not routed to their CH-BL home worker.
+  std::uint64_t forwarded() const { return forwarded_; }
+
+ private:
+  std::size_t route(FunctionId fn);
+
+  Runtime& rt_;
+  ClusterConfig cfg_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::string> fn_keys_;
+  ChblBalancer chbl_;
+  std::size_t rr_next_ = 0;
+  std::vector<std::uint64_t> routed_;
+  std::uint64_t forwarded_ = 0;
+};
+
+}  // namespace ilu

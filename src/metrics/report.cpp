@@ -1,0 +1,105 @@
+#include "metrics/report.hpp"
+
+#include <cstdio>
+
+#include "util/csv.hpp"
+
+namespace ilu {
+
+ExperimentReport::ExperimentReport(std::vector<std::string> names)
+    : names_(std::move(names)) {
+  global_.name = "TOTAL";
+}
+
+FunctionReport& ExperimentReport::row(FunctionId fn) {
+  auto [it, inserted] = per_fn_.try_emplace(fn);
+  if (inserted) {
+    it->second.name = fn < names_.size()
+                          ? names_[fn]
+                          : "fn_" + std::to_string(fn);
+  }
+  return it->second;
+}
+
+void ExperimentReport::accumulate(FunctionReport& fr, const InvokeResult& r) {
+  ++fr.invocations;
+  if (r.dropped) {
+    ++fr.dropped;
+    return;
+  }
+  if (!r.success) {
+    ++fr.failed;
+    return;
+  }
+  if (r.cold) {
+    ++fr.cold;
+  } else {
+    ++fr.warm;
+  }
+  fr.flow_ms.add_ms(r.flow_time());
+  fr.overhead_ms.add_ms(r.overhead());
+  fr.exec_ms.add_ms(r.exec_time);
+  fr.stretch_sum += r.stretch();
+}
+
+void ExperimentReport::add(const InvokeResult& r) {
+  accumulate(row(r.fn), r);
+  accumulate(global_, r);
+}
+
+void ExperimentReport::add_all(const std::vector<InvokeResult>& results) {
+  for (const auto& r : results) add(r);
+}
+
+std::vector<const FunctionReport*> ExperimentReport::functions() const {
+  std::vector<const FunctionReport*> out;
+  out.reserve(per_fn_.size());
+  for (const auto& [fn, fr] : per_fn_) out.push_back(&fr);
+  return out;
+}
+
+const FunctionReport* ExperimentReport::function(FunctionId fn) const {
+  auto it = per_fn_.find(fn);
+  return it == per_fn_.end() ? nullptr : &it->second;
+}
+
+std::string ExperimentReport::format() const {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "%-24s %8s %7s %7s %6s %6s %10s %10s %9s %7s\n", "function",
+                "inv", "warm", "cold", "drop", "fail", "flow p50",
+                "flow p99", "ovhd p50", "stretch");
+  out += buf;
+  auto line = [&](const FunctionReport& fr) {
+    std::snprintf(buf, sizeof buf,
+                  "%-24s %8llu %7llu %7llu %6llu %6llu %10.1f %10.1f %9.2f "
+                  "%7.2f\n",
+                  fr.name.c_str(), (unsigned long long)fr.invocations,
+                  (unsigned long long)fr.warm, (unsigned long long)fr.cold,
+                  (unsigned long long)fr.dropped,
+                  (unsigned long long)fr.failed, fr.flow_ms.p50(),
+                  fr.flow_ms.p99(), fr.overhead_ms.p50(), fr.mean_stretch());
+    out += buf;
+  };
+  for (const auto* fr : functions()) line(*fr);
+  line(global_);
+  return out;
+}
+
+void ExperimentReport::write_csv(const std::string& path) const {
+  CsvWriter w(path);
+  w.row("function", "invocations", "warm", "cold", "dropped", "failed",
+        "warm_ratio", "flow_p50_ms", "flow_p99_ms", "overhead_p50_ms",
+        "overhead_p99_ms", "exec_p50_ms", "mean_stretch");
+  auto emit = [&](const FunctionReport& fr) {
+    w.row(fr.name, fr.invocations, fr.warm, fr.cold, fr.dropped, fr.failed,
+          fr.warm_ratio(), fr.flow_ms.p50(), fr.flow_ms.p99(),
+          fr.overhead_ms.p50(), fr.overhead_ms.p99(), fr.exec_ms.p50(),
+          fr.mean_stretch());
+  };
+  for (const auto* fr : functions()) emit(*fr);
+  emit(global_);
+}
+
+}  // namespace ilu

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "queueing/queue_policy.hpp"
+
+/// The per-worker invocation queue (§5): a priority queue sorted by the
+/// active discipline, with FIFO tie-breaking (sequence numbers) so equal
+/// priorities preserve arrival order.
+namespace ilu {
+
+class InvocationQueue {
+ public:
+  InvocationQueue(const QueuePolicy& policy, const CharacteristicsMap& chars)
+      : policy_(policy), chars_(chars) {}
+
+  /// Enqueue with the priority computed at insertion time (matching the
+  /// paper's implementation: priorities use the characteristics known at
+  /// enqueue).
+  void push(QueueItem item, bool warm_available) {
+    item.seq = next_seq_++;
+    double pri = policy_.priority(item, chars_, warm_available);
+    items_.emplace(std::make_pair(pri, item.seq), std::move(item));
+  }
+
+  /// Dispatch the lowest-priority item.
+  std::optional<QueueItem> pop() {
+    if (items_.empty()) return std::nullopt;
+    auto it = items_.begin();
+    QueueItem item = std::move(it->second);
+    items_.erase(it);
+    return item;
+  }
+
+  /// Peek at the head priority (for tests / bypass heuristics).
+  std::optional<double> head_priority() const {
+    if (items_.empty()) return std::nullopt;
+    return items_.begin()->first.first;
+  }
+
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+ private:
+  const QueuePolicy& policy_;
+  const CharacteristicsMap& chars_;
+  std::uint64_t next_seq_ = 0;
+  std::map<std::pair<double, std::uint64_t>, QueueItem> items_;
+};
+
+}  // namespace ilu

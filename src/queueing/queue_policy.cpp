@@ -1,0 +1,28 @@
+#include "queueing/queue_policy.hpp"
+
+#include <stdexcept>
+
+namespace ilu {
+
+double QueuePolicy::expected_exec_ms(const QueueItem& item,
+                                     const CharacteristicsMap& chars,
+                                     bool warm_available) {
+  Duration est = warm_available ? chars.expected_warm(item.fn)
+                                : chars.expected_cold(item.fn);
+  if (est <= Duration::zero()) {
+    // Fall back to the other estimate before concluding "unseen".
+    est = warm_available ? chars.expected_cold(item.fn)
+                         : chars.expected_warm(item.fn);
+  }
+  return to_ms(est);
+}
+
+std::unique_ptr<QueuePolicy> make_queue_policy(const std::string& name) {
+  if (name == "FCFS") return std::make_unique<FcfsQueuePolicy>();
+  if (name == "SJF") return std::make_unique<SjfQueuePolicy>();
+  if (name == "EEDF") return std::make_unique<EedfQueuePolicy>();
+  if (name == "RARE") return std::make_unique<RareQueuePolicy>();
+  throw std::invalid_argument("unknown queue policy: " + name);
+}
+
+}  // namespace ilu

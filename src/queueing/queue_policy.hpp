@@ -1,0 +1,92 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/types.hpp"
+#include "core/characteristics.hpp"
+
+/// Invocation queue disciplines (§5.2). Priorities are computed from the
+/// per-function learned characteristics; the invocation with the *lowest*
+/// priority value is dispatched first.
+namespace ilu {
+
+/// An invocation waiting in the worker's queue. `dispatch` is the
+/// continuation that actually runs it (bound by the worker).
+struct QueueItem {
+  FunctionId fn = 0;
+  TimePoint arrival{};
+  std::uint64_t seq = 0;
+  std::function<void()> dispatch;
+};
+
+class QueuePolicy {
+ public:
+  virtual ~QueuePolicy() = default;
+  virtual std::string name() const = 0;
+
+  /// Lower dispatches first. `warm_available` tells the policy whether a
+  /// warm container is expected for this function (then the warm time is the
+  /// execution estimate; otherwise the cold time — which also spreads the
+  /// concurrent cold starts of a burst apart, §5.2).
+  virtual double priority(const QueueItem& item,
+                          const CharacteristicsMap& chars,
+                          bool warm_available) const = 0;
+
+ protected:
+  /// Expected execution time in ms under the warm/cold estimate rule;
+  /// unseen functions return 0 so they are prioritized.
+  static double expected_exec_ms(const QueueItem& item,
+                                 const CharacteristicsMap& chars,
+                                 bool warm_available);
+};
+
+/// First-come-first-served: dispatch in arrival order.
+class FcfsQueuePolicy final : public QueuePolicy {
+ public:
+  std::string name() const override { return "FCFS"; }
+  double priority(const QueueItem& item, const CharacteristicsMap&,
+                  bool) const override {
+    return static_cast<double>(item.arrival.count());
+  }
+};
+
+/// Shortest job first: favors short functions, can starve long ones.
+class SjfQueuePolicy final : public QueuePolicy {
+ public:
+  std::string name() const override { return "SJF"; }
+  double priority(const QueueItem& item, const CharacteristicsMap& chars,
+                  bool warm_available) const override {
+    return expected_exec_ms(item, chars, warm_available);
+  }
+};
+
+/// Earliest effective deadline first (the paper's default): minimize
+/// arrival time + expected execution time — balances short functions
+/// against starvation.
+class EedfQueuePolicy final : public QueuePolicy {
+ public:
+  std::string name() const override { return "EEDF"; }
+  double priority(const QueueItem& item, const CharacteristicsMap& chars,
+                  bool warm_available) const override {
+    return to_ms(item.arrival) +
+           expected_exec_ms(item, chars, warm_available);
+  }
+};
+
+/// RARE: prioritize the most unexpected functions (highest inter-arrival
+/// time first).
+class RareQueuePolicy final : public QueuePolicy {
+ public:
+  std::string name() const override { return "RARE"; }
+  double priority(const QueueItem& item, const CharacteristicsMap& chars,
+                  bool) const override {
+    return -chars.mean_iat_s(item.fn);
+  }
+};
+
+/// Names: FCFS, SJF, EEDF, RARE. Throws std::invalid_argument.
+std::unique_ptr<QueuePolicy> make_queue_policy(const std::string& name);
+
+}  // namespace ilu

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstddef>
+
+#include "util/time.hpp"
+
+/// The concurrency regulator (§5.1): enforces the upper bound on
+/// concurrently running functions — which is exactly the CPU overcommitment
+/// ratio. Runs either with a fixed limit, or in dynamic mode with a
+/// TCP-like AIMD controller: additive increase until the system load
+/// average crosses a congestion threshold, multiplicative decrease after.
+namespace ilu {
+
+/// What the AIMD controller reads as its congestion signal: the normalized
+/// load average (default), or the recent mean stretch of completed
+/// invocations — the alternative the paper suggests ("looking at the
+/// increase in execution time (i.e., stretch) of the functions could also
+/// be used as a congestion metric").
+enum class CongestionSignal { LoadAverage, Stretch };
+
+struct RegulatorConfig {
+  /// Initial / fixed limit on concurrently running invocations.
+  double limit = 48.0;
+  bool dynamic = false;  // AIMD mode
+  double min_limit = 2.0;
+  double max_limit = 1024.0;
+  double additive_step = 1.0;
+  double multiplicative_decrease = 0.7;
+  CongestionSignal signal = CongestionSignal::LoadAverage;
+  /// Congestion when load_average / cores exceeds this.
+  double congestion_threshold = 1.0;
+  /// Congestion when recent mean stretch exceeds this (Stretch signal).
+  double stretch_threshold = 2.0;
+  /// AIMD evaluation cadence (driven by the worker).
+  Duration interval = secs(2);
+};
+
+class ConcurrencyRegulator {
+ public:
+  explicit ConcurrencyRegulator(RegulatorConfig cfg) : cfg_(cfg), limit_(cfg.limit) {}
+
+  bool can_dispatch(std::size_t running) const {
+    return static_cast<double>(running) < limit_;
+  }
+
+  /// AIMD step. `normalized_load` = load_average / cores; `recent_stretch`
+  /// is the mean stretch of recently completed invocations (ignored unless
+  /// the Stretch signal is configured). No-op in fixed mode.
+  void tick(double normalized_load, double recent_stretch = 0.0) {
+    if (!cfg_.dynamic) return;
+    bool congested =
+        cfg_.signal == CongestionSignal::Stretch
+            ? recent_stretch > cfg_.stretch_threshold
+            : normalized_load > cfg_.congestion_threshold;
+    if (congested) {
+      limit_ *= cfg_.multiplicative_decrease;
+      if (limit_ < cfg_.min_limit) limit_ = cfg_.min_limit;
+    } else {
+      limit_ += cfg_.additive_step;
+      if (limit_ > cfg_.max_limit) limit_ = cfg_.max_limit;
+    }
+  }
+
+  double limit() const { return limit_; }
+  const RegulatorConfig& config() const { return cfg_; }
+
+ private:
+  RegulatorConfig cfg_;
+  double limit_;
+};
+
+}  // namespace ilu

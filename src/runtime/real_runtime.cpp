@@ -1,0 +1,90 @@
+#include "runtime/real_runtime.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace ilu {
+
+RealRuntime::RealRuntime()
+    : epoch_(std::chrono::steady_clock::now()),
+      loop_thread_([this] { loop(); }) {}
+
+RealRuntime::~RealRuntime() { shutdown(); }
+
+TimePoint RealRuntime::now() const {
+  return std::chrono::duration_cast<Duration>(std::chrono::steady_clock::now() -
+                                              epoch_);
+}
+
+Runtime::TimerId RealRuntime::schedule(Duration delay, Task fn) {
+  assert(delay >= Duration::zero());
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_) return kInvalidTimer;
+  TimerId id = next_id_++;
+  heap_.push(Event{now() + delay, next_seq_++, id, std::move(fn)});
+  cv_.notify_one();
+  return id;
+}
+
+bool RealRuntime::cancel(TimerId id) {
+  if (id == kInvalidTimer) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= next_id_) return false;
+  return cancelled_.insert(id).second;
+}
+
+void RealRuntime::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] {
+    return stopping_ || (heap_.size() == cancelled_.size() && !executing_);
+  });
+}
+
+void RealRuntime::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      // Already shut down (dtor after explicit shutdown()).
+      if (!loop_thread_.joinable()) return;
+    }
+    stopping_ = true;
+    cv_.notify_all();
+    idle_cv_.notify_all();
+  }
+  if (loop_thread_.joinable()) loop_thread_.join();
+}
+
+void RealRuntime::loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    // Discard cancelled events at the head.
+    while (!heap_.empty()) {
+      auto it = cancelled_.find(heap_.top().id);
+      if (it == cancelled_.end()) break;
+      cancelled_.erase(it);
+      heap_.pop();
+    }
+    if (heap_.empty()) {
+      idle_cv_.notify_all();
+      cv_.wait(lock, [this] { return stopping_ || !heap_.empty(); });
+      continue;
+    }
+    TimePoint deadline = heap_.top().deadline;
+    TimePoint current = now();
+    if (deadline > current) {
+      cv_.wait_for(lock, deadline - current);
+      continue;  // re-check: new earlier event or cancellation may have come
+    }
+    // priority_queue::top is const; moving from it is safe right before pop.
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    executing_ = true;
+    lock.unlock();
+    ev.fn();
+    lock.lock();
+    executing_ = false;
+    if (heap_.size() == cancelled_.size()) idle_cv_.notify_all();
+  }
+}
+
+}  // namespace ilu

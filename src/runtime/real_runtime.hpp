@@ -1,0 +1,70 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+
+/// Wall-clock runtime: a single event-loop thread drains a timer heap and
+/// executes callbacks serially (preserving the Runtime contract), while any
+/// thread may schedule work. This mirrors a single-threaded tokio executor:
+/// the control plane itself is cheap (the paper reports <20% of one core
+/// under full 48-core load), so one loop thread suffices and keeps the
+/// callback code lock-free.
+namespace ilu {
+
+class RealRuntime final : public Runtime {
+ public:
+  RealRuntime();
+  ~RealRuntime() override;
+
+  RealRuntime(const RealRuntime&) = delete;
+  RealRuntime& operator=(const RealRuntime&) = delete;
+
+  /// Monotonic time since construction.
+  TimePoint now() const override;
+
+  TimerId schedule(Duration delay, Task fn) override;
+  bool cancel(TimerId id) override;
+
+  /// Block until no pending timers remain (used by tests/benches to join).
+  void drain();
+
+  /// Stop the loop thread; pending timers are dropped. Called by the dtor.
+  void shutdown();
+
+ private:
+  struct Event {
+    TimePoint deadline;
+    std::uint64_t seq;
+    TimerId id;
+    Task fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.deadline != b.deadline) return a.deadline > b.deadline;
+      return a.seq > b.seq;
+    }
+  };
+
+  void loop();
+
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::unordered_set<TimerId> cancelled_;
+  std::uint64_t next_seq_ = 0;
+  TimerId next_id_ = 1;
+  bool stopping_ = false;
+  bool executing_ = false;
+  std::thread loop_thread_;
+};
+
+}  // namespace ilu

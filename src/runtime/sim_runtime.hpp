@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+
+/// Deterministic discrete-event runtime.
+///
+/// Events are ordered by (deadline, sequence number), so runs are bit-exact
+/// reproducible for a given seed/workload. Cancellation is lazy: cancelled
+/// ids are skipped when popped, keeping schedule() and cancel() O(log n)
+/// and O(1) respectively.
+namespace ilu {
+
+class SimRuntime final : public Runtime {
+ public:
+  SimRuntime() = default;
+
+  TimePoint now() const override { return now_; }
+  TimerId schedule(Duration delay, Task fn) override;
+  bool cancel(TimerId id) override;
+
+  /// Execute the next event, advancing virtual time to its deadline.
+  /// Returns false when no events remain.
+  bool step();
+
+  /// Run until the event queue is empty.
+  void run();
+
+  /// Run events with deadline <= t, then advance time to exactly t.
+  void run_until(TimePoint t);
+
+  /// Run for a further `d` of virtual time.
+  void run_for(Duration d) { run_until(now_ + d); }
+
+  /// Number of pending (non-cancelled) events.
+  std::size_t pending() const { return heap_.size() - cancelled_.size(); }
+
+  /// Total events executed so far (for engine micro-benchmarks).
+  std::uint64_t events_processed() const { return processed_; }
+
+ private:
+  struct Event {
+    TimePoint deadline;
+    std::uint64_t seq;
+    TimerId id;
+    Task fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.deadline != b.deadline) return a.deadline > b.deadline;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pop the next live event; false if none.
+  bool pop_next(Event& out);
+
+  TimePoint now_{0};
+  std::uint64_t next_seq_ = 0;
+  TimerId next_id_ = 1;  // 0 is kInvalidTimer
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::unordered_set<TimerId> cancelled_;
+};
+
+}  // namespace ilu

@@ -1,0 +1,42 @@
+#include "trace/function_profile.hpp"
+
+#include <stdexcept>
+
+namespace ilu {
+
+std::vector<FunctionProfile> function_bench() {
+  // Table 3: {name, mem MB, cold run time, init time}; warm = run - init.
+  return {
+      {.name = "ml_inference", .mem_mb = 512, .warm_time = secs(2.0), .init_time = secs(4.5)},
+      {.name = "video_encoding", .mem_mb = 500, .warm_time = secs(53.0), .init_time = secs(3.0)},
+      {.name = "matrix_multiply", .mem_mb = 256, .warm_time = secs(0.3), .init_time = secs(2.2)},
+      {.name = "disk_bench", .mem_mb = 256, .warm_time = secs(0.4), .init_time = secs(1.8)},
+      {.name = "image_manip", .mem_mb = 300, .warm_time = secs(3.0), .init_time = secs(6.0)},
+      {.name = "web_serving", .mem_mb = 64, .warm_time = secs(0.4), .init_time = secs(2.0)},
+      {.name = "float_op", .mem_mb = 128, .warm_time = secs(0.3), .init_time = secs(1.7)},
+  };
+}
+
+FunctionProfile function_bench_app(const std::string& name) {
+  for (auto& p : function_bench()) {
+    if (p.name == name) return p;
+  }
+  throw std::out_of_range("unknown FunctionBench app: " + name);
+}
+
+FunctionProfile pyaes() {
+  return {.name = "pyaes",
+          .mem_mb = 128,
+          .warm_time = msecs(300),
+          .init_time = msecs(1200)};
+}
+
+FunctionProfile lookbusy(Duration warm_time, std::uint32_t mem_mb,
+                         Duration init_time) {
+  return {.name = "lookbusy",
+          .mem_mb = mem_mb,
+          .warm_time = warm_time,
+          .init_time = init_time};
+}
+
+}  // namespace ilu

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+/// Canned function profiles used by the paper's empirical experiments.
+namespace ilu {
+
+/// The seven FunctionBench-derived applications of Table 3, with the paper's
+/// exact memory sizes, (cold) run times, and initialization times. The
+/// stored `warm_time` is run time minus init time — the appendix confirms
+/// this reading ("initialization overhead (1.7 of the total 2 seconds)").
+std::vector<FunctionProfile> function_bench();
+
+/// Individual Table 3 entries by name; throws std::out_of_range if unknown.
+/// Names: ml_inference, video_encoding, matrix_multiply, disk_bench,
+/// image_manip, web_serving, float_op.
+FunctionProfile function_bench_app(const std::string& name);
+
+/// The PyAES-style small CPU-bound function used for the Fig 1 overhead
+/// scaling experiment: small memory, short warm time.
+FunctionProfile pyaes();
+
+/// A lookbusy-style synthetic function with specified CPU burn time and
+/// memory footprint (the paper's custom-sized load generator).
+FunctionProfile lookbusy(Duration warm_time, std::uint32_t mem_mb,
+                         Duration init_time = msecs(500));
+
+}  // namespace ilu

@@ -1,0 +1,117 @@
+#include "trace/loadgen.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ilu {
+
+OpenLoopDriver::OpenLoopDriver(Runtime& rt, InvokeFn invoke)
+    : rt_(rt), invoke_(std::move(invoke)) {}
+
+void OpenLoopDriver::start(const Trace& trace) {
+  assert(trace_ == nullptr && "driver already started");
+  trace_ = &trace;
+  epoch_ = rt_.now();
+  results_.reserve(trace.events.size());
+  if (trace.events.empty()) {
+    submitted_all_ = true;
+    return;
+  }
+  rt_.schedule(trace.events.front().at, [this] { pump(); });
+}
+
+void OpenLoopDriver::pump() {
+  // Submit every event due now, then re-arm a single timer for the next.
+  const auto& events = trace_->events;
+  TimePoint now = rt_.now() - epoch_;
+  while (next_ < events.size() && events[next_].at <= now) {
+    FunctionId fn = events[next_].fn;
+    ++next_;
+    ++outstanding_;
+    invoke_(fn, [this](const InvokeResult& r) {
+      results_.push_back(r);
+      --outstanding_;
+    });
+  }
+  if (next_ < events.size()) {
+    rt_.schedule(events[next_].at - now, [this] { pump(); });
+  } else {
+    submitted_all_ = true;
+  }
+}
+
+ClosedLoopDriver::ClosedLoopDriver(Runtime& rt, InvokeFn invoke, FunctionId fn,
+                                   std::size_t clients)
+    : rt_(rt), invoke_(std::move(invoke)), fn_(fn), clients_(clients) {
+  assert(clients_ > 0);
+}
+
+void ClosedLoopDriver::start(std::size_t iterations_per_client) {
+  started_ = true;
+  active_clients_ = clients_;
+  results_.reserve(clients_ * iterations_per_client);
+  for (std::size_t c = 0; c < clients_; ++c) {
+    rt_.post([this, iterations_per_client] {
+      client_loop(iterations_per_client);
+    });
+  }
+}
+
+void ClosedLoopDriver::client_loop(std::size_t remaining) {
+  if (remaining == 0) {
+    --active_clients_;
+    return;
+  }
+  invoke_(fn_, [this, remaining](const InvokeResult& r) {
+    results_.push_back(r);
+    client_loop(remaining - 1);
+  });
+}
+
+Trace make_synthetic_trace(const std::vector<SyntheticFunctionSpec>& specs,
+                           Duration duration, std::uint64_t seed) {
+  assert(duration > Duration::zero());
+  Trace t;
+  t.duration = duration;
+  Rng rng(seed);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto& spec = specs[i];
+    assert(spec.mean_iat > Duration::zero());
+    t.functions.push_back(spec.profile);
+    Rng frng = rng.substream(i);
+    TimePoint at = spec.phase;
+    while (at < duration) {
+      t.events.push_back(TraceEvent{at, static_cast<FunctionId>(i)});
+      Duration gap =
+          spec.exponential
+              ? secs(frng.exponential(to_sec(spec.mean_iat)))
+              : spec.mean_iat;
+      // Guard against a zero exponential draw stalling the generator.
+      if (gap <= Duration::zero()) gap = usecs(1);
+      at += gap;
+    }
+  }
+  std::stable_sort(t.events.begin(), t.events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.at < b.at;
+                   });
+  return t;
+}
+
+Trace make_cyclic_trace(const std::vector<FunctionProfile>& profiles,
+                        Duration gap, Duration duration) {
+  assert(!profiles.empty() && gap > Duration::zero());
+  Trace t;
+  t.duration = duration;
+  t.functions = profiles;
+  TimePoint at{};
+  FunctionId fn = 0;
+  while (at < duration) {
+    t.events.push_back(TraceEvent{at, fn});
+    fn = static_cast<FunctionId>((fn + 1) % profiles.size());
+    at += gap;
+  }
+  return t;
+}
+
+}  // namespace ilu

@@ -1,0 +1,68 @@
+#include "trace/trace_io.hpp"
+
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace ilu {
+
+void save_trace(const Trace& trace, const std::string& prefix) {
+  {
+    CsvWriter w(prefix + "_functions.csv");
+    w.row("name", "mem_mb", "warm_us", "init_us", "cpus", "duration_us");
+    bool first = true;
+    for (const auto& f : trace.functions) {
+      // The trace duration rides along in the first row to avoid a third
+      // file; readers take it from there.
+      w.row(f.name, f.mem_mb, f.warm_time.count(), f.init_time.count(),
+            f.cpus, first ? trace.duration.count() : 0);
+      first = false;
+    }
+  }
+  {
+    CsvWriter w(prefix + "_events.csv");
+    w.row("at_us", "fn");
+    for (const auto& e : trace.events) {
+      w.row(e.at.count(), e.fn);
+    }
+  }
+}
+
+Trace load_trace(const std::string& prefix) {
+  Trace t;
+  {
+    CsvReader r(prefix + "_functions.csv");
+    std::vector<std::string> f;
+    if (!r.next(f)) throw std::runtime_error("empty functions csv");
+    bool first = true;
+    while (r.next(f)) {
+      if (f.size() != 6) throw std::runtime_error("bad functions row");
+      FunctionProfile p;
+      p.name = f[0];
+      p.mem_mb = static_cast<std::uint32_t>(std::stoul(f[1]));
+      p.warm_time = usecs(std::stoll(f[2]));
+      p.init_time = usecs(std::stoll(f[3]));
+      p.cpus = std::stod(f[4]);
+      if (first) {
+        t.duration = usecs(std::stoll(f[5]));
+        first = false;
+      }
+      t.functions.push_back(std::move(p));
+    }
+  }
+  {
+    CsvReader r(prefix + "_events.csv");
+    std::vector<std::string> f;
+    if (!r.next(f)) throw std::runtime_error("empty events csv");
+    while (r.next(f)) {
+      if (f.size() != 2) throw std::runtime_error("bad events row");
+      t.events.push_back(TraceEvent{
+          usecs(std::stoll(f[0])),
+          static_cast<FunctionId>(std::stoul(f[1]))});
+    }
+  }
+  if (!t.valid()) throw std::runtime_error("loaded trace is invalid");
+  return t;
+}
+
+}  // namespace ilu

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string>
+
+#include "trace/workload.hpp"
+
+/// Trace persistence: a trace is stored as two CSV files so generated
+/// workloads can be inspected, shared, and replayed bit-identically.
+///   <prefix>_functions.csv : name, mem_mb, warm_us, init_us, cpus
+///   <prefix>_events.csv    : at_us, fn
+namespace ilu {
+
+void save_trace(const Trace& trace, const std::string& prefix);
+
+/// Throws std::runtime_error on missing/malformed files.
+Trace load_trace(const std::string& prefix);
+
+}  // namespace ilu

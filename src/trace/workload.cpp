@@ -1,0 +1,62 @@
+#include "trace/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ilu {
+
+TraceStats Trace::stats() const {
+  TraceStats s;
+  s.num_functions = functions.size();
+  s.num_invocations = events.size();
+  if (events.empty()) return s;
+
+  Duration span = duration > Duration::zero()
+                      ? duration
+                      : events.back().at - events.front().at;
+  if (span <= Duration::zero()) span = usecs(1);
+  s.reqs_per_sec = static_cast<double>(events.size()) / to_sec(span);
+  if (events.size() > 1) {
+    s.avg_iat = Duration{(events.back().at - events.front().at).count() /
+                         static_cast<std::int64_t>(events.size() - 1)};
+  }
+
+  // Little's law: per-function arrival rate x warm execution time.
+  std::vector<std::size_t> counts(functions.size(), 0);
+  for (const auto& e : events) ++counts[e.fn];
+  for (std::size_t f = 0; f < functions.size(); ++f) {
+    double rate = static_cast<double>(counts[f]) / to_sec(span);
+    s.expected_concurrency += rate * to_sec(functions[f].warm_time);
+  }
+  return s;
+}
+
+std::vector<double> Trace::invocations_per_second_by_minute() const {
+  if (events.empty()) return {};
+  Duration span = duration > Duration::zero() ? duration : events.back().at;
+  auto num_minutes =
+      static_cast<std::size_t>(std::ceil(to_sec(span) / 60.0));
+  if (num_minutes == 0) num_minutes = 1;
+  std::vector<double> out(num_minutes, 0.0);
+  for (const auto& e : events) {
+    auto m = static_cast<std::size_t>(to_sec(e.at) / 60.0);
+    if (m >= out.size()) m = out.size() - 1;
+    out[m] += 1.0;
+  }
+  for (auto& v : out) v /= 60.0;
+  return out;
+}
+
+bool Trace::valid() const {
+  if (!std::is_sorted(events.begin(), events.end(),
+                      [](const TraceEvent& a, const TraceEvent& b) {
+                        return a.at < b.at;
+                      })) {
+    return false;
+  }
+  return std::all_of(events.begin(), events.end(), [&](const TraceEvent& e) {
+    return e.fn < functions.size();
+  });
+}
+
+}  // namespace ilu

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+
+/// Workload representation: a function table plus a time-ordered invocation
+/// stream. This is the open-loop "timeseries of function invocations" the
+/// paper's load-generation framework produces for repeatable experiments.
+namespace ilu {
+
+struct TraceEvent {
+  TimePoint at{};
+  FunctionId fn = 0;
+};
+
+struct TraceStats {
+  std::size_t num_functions = 0;
+  std::size_t num_invocations = 0;
+  double reqs_per_sec = 0.0;
+  /// Mean inter-arrival time across the merged stream (Table 2's "Avg. IAT").
+  Duration avg_iat{};
+  /// Little's-law expected number of concurrently running invocations:
+  /// sum over functions of (arrival rate x mean warm execution time).
+  double expected_concurrency = 0.0;
+};
+
+struct Trace {
+  std::vector<FunctionProfile> functions;
+  /// Sorted by `at`, ties in generation order.
+  std::vector<TraceEvent> events;
+  /// Nominal length of the workload (events all lie in [0, duration]).
+  Duration duration{};
+
+  TraceStats stats() const;
+
+  /// Invocations per second, bucketed by minute — the appendix timeseries
+  /// figures. Bucket i covers [i min, i+1 min).
+  std::vector<double> invocations_per_second_by_minute() const;
+
+  /// Verify events are sorted and reference valid functions.
+  bool valid() const;
+};
+
+}  // namespace ilu

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+/// Small, dependency-free hash functions.
+///
+/// Used by the consistent-hashing load balancer (lb/chbl.hpp) and for seeding
+/// per-entity deterministic RNG streams. These are *not* cryptographic.
+namespace ilu {
+
+/// FNV-1a 64-bit over a byte string. Stable across platforms.
+constexpr std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// splitmix64 finalizer: decorrelates sequential integers into well-mixed
+/// 64-bit values. Used to derive vnode hashes and RNG sub-streams.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combine two hashes (boost::hash_combine style, 64-bit).
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+}  // namespace ilu

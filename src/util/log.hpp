@@ -1,0 +1,47 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+/// Tiny leveled logger. The control plane keeps logging off the critical
+/// path by default (level Warn); benches/tests can raise verbosity.
+/// A single global level keeps the hot-path check to one branch.
+namespace ilu {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Set/get the global log level. Not synchronized: set it before spawning
+/// threads (matches how benches and tests use it).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit a message at `level` (no-op if below the global level).
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+template <typename... Ts>
+std::string concat(const Ts&... vs) {
+  std::ostringstream os;
+  (os << ... << vs);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Ts>
+void log_debug(const Ts&... vs) {
+  if (log_level() <= LogLevel::Debug) log_message(LogLevel::Debug, detail::concat(vs...));
+}
+template <typename... Ts>
+void log_info(const Ts&... vs) {
+  if (log_level() <= LogLevel::Info) log_message(LogLevel::Info, detail::concat(vs...));
+}
+template <typename... Ts>
+void log_warn(const Ts&... vs) {
+  if (log_level() <= LogLevel::Warn) log_message(LogLevel::Warn, detail::concat(vs...));
+}
+template <typename... Ts>
+void log_error(const Ts&... vs) {
+  if (log_level() <= LogLevel::Error) log_message(LogLevel::Error, detail::concat(vs...));
+}
+
+}  // namespace ilu

@@ -1,0 +1,142 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <vector>
+
+#include "util/time.hpp"
+
+/// Online and batch statistics used throughout the control plane:
+/// - Welford: single-pass mean/variance/CoV (the HIST keep-alive policy's
+///   predictability test uses exactly this, citing Welford's algorithm).
+/// - MovingWindow: bounded history with mean, used for the per-function
+///   warm/cold execution-time estimates that drive SJF/EEDF queueing.
+/// - ExpDecayAverage: Unix-style exponentially decayed load average.
+/// - Summary / percentile helpers for reporting (Fig 1's p50/p99).
+/// - SlidingRateMeter: events-per-second over a window (Fig 8 miss speed).
+namespace ilu {
+
+/// Welford's online algorithm for mean and variance.
+class Welford {
+ public:
+  void add(double x);
+  std::uint64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  /// Coefficient of variation: stddev / mean; 0 when mean is 0.
+  double cov() const;
+  void reset();
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Fixed-capacity moving window with O(1) mean maintenance.
+class MovingWindow {
+ public:
+  explicit MovingWindow(std::size_t capacity = 10);
+  void add(double x);
+  bool empty() const { return values_.empty(); }
+  std::size_t size() const { return values_.size(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  double last() const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<double> values_;
+  double sum_ = 0.0;
+};
+
+/// Exponentially decayed average a la the kernel load average:
+/// on each sample spaced `interval` apart, load = load*a + x*(1-a) with
+/// a = exp(-interval/tau).
+class ExpDecayAverage {
+ public:
+  explicit ExpDecayAverage(double tau_seconds = 60.0);
+  void sample(double x, double interval_seconds);
+  double value() const { return value_; }
+  void reset(double v = 0.0) { value_ = v; }
+
+ private:
+  double tau_;
+  double value_ = 0.0;
+};
+
+/// Count of events inside a sliding time window; used for cold-starts/sec.
+class SlidingRateMeter {
+ public:
+  explicit SlidingRateMeter(Duration window);
+  void record(TimePoint t);
+  /// Events per second over the window ending at `now`.
+  double rate_per_sec(TimePoint now);
+  std::size_t count_in_window(TimePoint now);
+
+ private:
+  void expire(TimePoint now);
+  Duration window_;
+  std::deque<TimePoint> events_;
+  /// Time of the first record: before a full window has elapsed, rates are
+  /// computed over the observed span rather than the nominal window (else
+  /// early-startup rates are underestimated by window/elapsed).
+  TimePoint first_record_{-1};
+};
+
+/// Batch summary of a sample: percentiles by linear interpolation.
+class Summary {
+ public:
+  void add(double x) {
+    values_.push_back(x);
+    sorted_ = false;
+  }
+  void add_ms(Duration d) { add(to_ms(d)); }
+  std::size_t count() const { return values_.size(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// p in [0, 100]. Sorts lazily (const via mutable cache).
+  double percentile(double p) const;
+  double p50() const { return percentile(50.0); }
+  double p99() const { return percentile(99.0); }
+  void clear();
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+};
+
+/// Fixed-width bucketed histogram over [0, bucket_width * num_buckets).
+/// Values beyond the last bucket are clamped into it (the HIST policy's
+/// "4-hour window, overflow bucket" behaviour).
+class BucketHistogram {
+ public:
+  BucketHistogram(double bucket_width, std::size_t num_buckets);
+  void add(double x);
+  std::uint64_t total() const { return total_; }
+  std::size_t num_buckets() const { return counts_.size(); }
+  std::uint64_t bucket_count(std::size_t i) const { return counts_[i]; }
+  /// Smallest x-upper-bound such that at least `fraction` of the mass lies
+  /// at or below it. fraction in (0, 1]. Returns 0 if empty.
+  double quantile_upper_bound(double fraction) const;
+  /// Lower edge of the same bucket (quantile_upper_bound minus one bucket
+  /// width, floored at 0). Prefetchers aim *before* this edge.
+  double quantile_lower_bound(double fraction) const;
+  /// Fraction of samples that landed in the overflow (last) bucket.
+  double overflow_fraction() const;
+  void reset();
+
+ private:
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ilu

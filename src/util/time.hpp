@@ -1,0 +1,37 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+/// Common time representation used across the whole control plane.
+///
+/// All simulated and measured time is carried as integral microseconds since
+/// an arbitrary epoch (the start of the simulation, or process start for the
+/// real-time runtime). Integral microseconds keep discrete-event replay
+/// bit-exact across platforms while being fine-grained enough for the
+/// sub-millisecond control-plane spans in the paper's Table 1.
+namespace ilu {
+
+/// A span of time, in microseconds.
+using Duration = std::chrono::microseconds;
+
+/// An instant, expressed as a Duration since the runtime epoch.
+using TimePoint = Duration;
+
+/// Convenience literal-style constructors.
+constexpr Duration usecs(std::int64_t v) { return Duration{v}; }
+constexpr Duration msecs(double v) {
+  return Duration{static_cast<std::int64_t>(v * 1000.0)};
+}
+constexpr Duration secs(double v) {
+  return Duration{static_cast<std::int64_t>(v * 1'000'000.0)};
+}
+constexpr Duration mins(double v) { return secs(v * 60.0); }
+
+/// Conversions to floating-point units for metrics and reporting.
+constexpr double to_ms(Duration d) { return static_cast<double>(d.count()) / 1000.0; }
+constexpr double to_sec(Duration d) {
+  return static_cast<double>(d.count()) / 1'000'000.0;
+}
+
+}  // namespace ilu

@@ -1,0 +1,95 @@
+#include "core/characteristics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/span_tracer.hpp"
+
+namespace ilu {
+namespace {
+
+TEST(Characteristics, UnseenFunctionIsZero) {
+  CharacteristicsMap m;
+  EXPECT_EQ(m.expected_warm(5), Duration::zero());
+  EXPECT_EQ(m.expected_cold(5), Duration::zero());
+  EXPECT_DOUBLE_EQ(m.mean_iat_s(5), 0.0);
+  EXPECT_EQ(m.arrivals(5), 0u);
+}
+
+TEST(Characteristics, MovingWindowMean) {
+  CharacteristicsMap m;
+  m.record_warm(0, msecs(100));
+  m.record_warm(0, msecs(200));
+  EXPECT_EQ(m.expected_warm(0), msecs(150));
+}
+
+TEST(Characteristics, WindowEvictsOldSamples) {
+  CharacteristicsMap m(/*window=*/2);
+  m.record_warm(0, msecs(1000));
+  m.record_warm(0, msecs(100));
+  m.record_warm(0, msecs(100));
+  EXPECT_EQ(m.expected_warm(0), msecs(100));
+}
+
+TEST(Characteristics, ColdAndWarmTrackedSeparately) {
+  CharacteristicsMap m;
+  m.record_warm(0, msecs(100));
+  m.record_cold(0, secs(2));
+  EXPECT_EQ(m.expected_warm(0), msecs(100));
+  EXPECT_EQ(m.expected_cold(0), secs(2));
+  EXPECT_EQ(m.warm_count(0), 1u);
+  EXPECT_EQ(m.cold_count(0), 1u);
+}
+
+TEST(Characteristics, IatTracking) {
+  CharacteristicsMap m;
+  m.on_arrival(0, secs(0));
+  m.on_arrival(0, secs(10));
+  m.on_arrival(0, secs(20));
+  EXPECT_DOUBLE_EQ(m.mean_iat_s(0), 10.0);
+  EXPECT_EQ(m.arrivals(0), 3u);
+}
+
+TEST(Characteristics, FirstArrivalHasNoIat) {
+  CharacteristicsMap m;
+  m.on_arrival(0, secs(100));
+  EXPECT_DOUBLE_EQ(m.mean_iat_s(0), 0.0);
+}
+
+TEST(Characteristics, IndependentFunctions) {
+  CharacteristicsMap m;
+  m.record_warm(0, msecs(10));
+  m.record_warm(3, msecs(90));
+  EXPECT_EQ(m.expected_warm(0), msecs(10));
+  EXPECT_EQ(m.expected_warm(3), msecs(90));
+  EXPECT_EQ(m.expected_warm(1), Duration::zero());
+}
+
+TEST(SpanTracer, RecordsAndSummarizes) {
+  SpanTracer t;
+  t.record(spans::kCallContainer, msecs(1.0));
+  t.record(spans::kCallContainer, msecs(2.0));
+  EXPECT_NEAR(t.mean_ms(spans::kCallContainer), 1.5, 1e-9);
+  EXPECT_EQ(t.count(spans::kCallContainer), 2u);
+}
+
+TEST(SpanTracer, DisabledTracerIsNoOp) {
+  SpanTracer t(false);
+  t.record(spans::kInvoke, msecs(1.0));
+  EXPECT_EQ(t.count(spans::kInvoke), 0u);
+  EXPECT_DOUBLE_EQ(t.mean_ms(spans::kInvoke), 0.0);
+}
+
+TEST(SpanTracer, UnknownSpanIsZero) {
+  SpanTracer t;
+  EXPECT_DOUBLE_EQ(t.mean_ms("nope"), 0.0);
+}
+
+TEST(SpanTracer, ClearResets) {
+  SpanTracer t;
+  t.record(spans::kInvoke, msecs(1.0));
+  t.clear();
+  EXPECT_EQ(t.count(spans::kInvoke), 0u);
+}
+
+}  // namespace
+}  // namespace ilu

@@ -1,0 +1,173 @@
+#include "keepalive/pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include "runtime/sim_runtime.hpp"
+#include "trace/function_profile.hpp"
+
+namespace ilu {
+namespace {
+
+class ContainerPoolTest : public ::testing::Test {
+ protected:
+  ContainerPoolTest()
+      : pool_(rt_, policy_,
+              ContainerPool::Config{.capacity_mb = 1000,
+                                    .free_buffer_mb = 0,
+                                    .sweep_interval = msecs(500)},
+              [this](std::unique_ptr<Container> c) {
+                evicted_.push_back(c->fn);
+              }) {}
+
+  Container* make_running(FunctionId fn, std::uint32_t mem) {
+    auto profile = lookbusy(secs(1), mem, secs(1));
+    Container* c = pool_.add_container(fn, profile, rt_.now());
+    if (c != nullptr) {
+      c->state = ContainerState::Launching;
+      c->state = ContainerState::Running;
+      ++c->entry.uses;
+    }
+    return c;
+  }
+
+  SimRuntime rt_;
+  LruPolicy policy_;
+  std::vector<FunctionId> evicted_;
+  ContainerPool pool_;
+};
+
+TEST_F(ContainerPoolTest, AddReservesMemory) {
+  auto* c = make_running(0, 300);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(pool_.used_mb(), 300u);
+  EXPECT_EQ(pool_.total_count(), 1u);
+  EXPECT_EQ(pool_.idle_count(), 0u);
+}
+
+TEST_F(ContainerPoolTest, AcquireReturnsNullWhenNoIdle) {
+  make_running(0, 300);
+  EXPECT_EQ(pool_.acquire(0, rt_.now()), nullptr);
+}
+
+TEST_F(ContainerPoolTest, ReturnThenAcquireReusesContainer) {
+  auto* c = make_running(0, 300);
+  pool_.return_container(c, secs(1));
+  EXPECT_TRUE(pool_.has_idle(0));
+  auto* got = pool_.acquire(0, secs(2));
+  EXPECT_EQ(got, c);
+  EXPECT_EQ(got->state, ContainerState::Running);
+  EXPECT_EQ(got->entry.uses, 2u);
+}
+
+TEST_F(ContainerPoolTest, AcquirePicksMostRecentlyUsed) {
+  auto* a = make_running(0, 100);
+  auto* b = make_running(0, 100);
+  pool_.return_container(a, secs(1));
+  pool_.return_container(b, secs(2));
+  EXPECT_EQ(pool_.acquire(0, secs(3)), b);
+}
+
+TEST_F(ContainerPoolTest, MemoryPressureEvictsIdleLru) {
+  auto* a = make_running(0, 400);
+  auto* b = make_running(1, 400);
+  pool_.return_container(a, secs(1));
+  pool_.return_container(b, secs(2));
+  // 800 used; adding 300 must evict fn0 (older).
+  auto* c = make_running(2, 300);
+  ASSERT_NE(c, nullptr);
+  ASSERT_EQ(evicted_.size(), 1u);
+  EXPECT_EQ(evicted_[0], 0u);
+  EXPECT_EQ(pool_.evictions(), 1u);
+}
+
+TEST_F(ContainerPoolTest, BusyContainersCannotBeEvicted) {
+  make_running(0, 600);
+  make_running(1, 300);
+  // All 900 busy; a 200 MB add must fail.
+  EXPECT_EQ(make_running(2, 200), nullptr);
+  EXPECT_TRUE(evicted_.empty());
+}
+
+TEST_F(ContainerPoolTest, RemoveReleasesMemoryWithoutEvictionCallback) {
+  auto* c = make_running(0, 300);
+  pool_.remove(c);
+  EXPECT_EQ(pool_.used_mb(), 0u);
+  EXPECT_TRUE(evicted_.empty());
+}
+
+TEST_F(ContainerPoolTest, SweepRestoresFreeBuffer) {
+  auto* a = make_running(0, 400);
+  auto* b = make_running(1, 400);
+  pool_.return_container(a, secs(1));
+  pool_.return_container(b, secs(2));
+  // Require 500 free: sweep must evict one 400 MB idle container.
+  ContainerPool::Config cfg{.capacity_mb = 1000,
+                            .free_buffer_mb = 500,
+                            .sweep_interval = msecs(500)};
+  // Rebuild a pool with a buffer (fixture pool has none): do it inline.
+  std::vector<FunctionId> evicted;
+  LruPolicy policy;
+  ContainerPool pool(rt_, policy, cfg,
+                     [&](std::unique_ptr<Container> c) {
+                       evicted.push_back(c->fn);
+                     });
+  auto* x = pool.add_container(0, lookbusy(secs(1), 400, secs(1)), rt_.now());
+  x->state = ContainerState::Launching;
+  x->state = ContainerState::Running;
+  auto* y = pool.add_container(1, lookbusy(secs(1), 400, secs(1)), rt_.now());
+  y->state = ContainerState::Launching;
+  y->state = ContainerState::Running;
+  pool.return_container(x, secs(1));
+  pool.return_container(y, secs(2));
+  pool.sweep(secs(3));
+  EXPECT_GE(pool.free_mb(), 500u);
+  EXPECT_EQ(evicted.size(), 1u);
+}
+
+TEST_F(ContainerPoolTest, BackgroundSweepRunsOnTimer) {
+  TtlPolicy ttl(secs(5));
+  std::vector<FunctionId> evicted;
+  ContainerPool pool(rt_, ttl,
+                     ContainerPool::Config{.capacity_mb = 1000,
+                                           .free_buffer_mb = 0,
+                                           .sweep_interval = secs(1)},
+                     [&](std::unique_ptr<Container> c) {
+                       evicted.push_back(c->fn);
+                     });
+  auto* c = pool.add_container(0, lookbusy(secs(1), 100, secs(1)), rt_.now());
+  c->state = ContainerState::Launching;
+  c->state = ContainerState::Running;
+  pool.return_container(c, rt_.now());
+  pool.start();
+  rt_.run_until(secs(10));
+  pool.stop();
+  EXPECT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(pool.expirations(), 1u);
+}
+
+TEST_F(ContainerPoolTest, StopCancelsSweepTimer) {
+  pool_.start();
+  pool_.stop();
+  rt_.run();  // must terminate (no periodic timer alive)
+  SUCCEED();
+}
+
+TEST_F(ContainerPoolTest, ShrinkCapacityEvictsIdle) {
+  auto* a = make_running(0, 400);
+  pool_.return_container(a, secs(1));
+  pool_.set_capacity_mb(100);
+  EXPECT_EQ(pool_.used_mb(), 0u);
+  EXPECT_EQ(evicted_.size(), 1u);
+}
+
+TEST_F(ContainerPoolTest, ParkPrewarmedMakesIdle) {
+  auto profile = lookbusy(secs(1), 200, secs(1));
+  Container* c = pool_.add_container(3, profile, rt_.now());
+  c->state = ContainerState::Launching;
+  pool_.park_prewarmed(c, rt_.now());
+  EXPECT_TRUE(pool_.has_idle(3));
+  EXPECT_EQ(pool_.acquire(3, rt_.now()), c);
+}
+
+}  // namespace
+}  // namespace ilu

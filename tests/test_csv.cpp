@@ -1,0 +1,70 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+namespace ilu {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("ilu_csv_test_" + std::to_string(::getpid()) + ".csv"))
+                .string();
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(CsvTest, RoundTrip) {
+  {
+    CsvWriter w(path_);
+    w.row("name", "value", "count");
+    w.row("foo", 1.5, 3);
+    w.flush();
+  }
+  CsvReader r(path_);
+  std::vector<std::string> f;
+  ASSERT_TRUE(r.next(f));
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "name");
+  ASSERT_TRUE(r.next(f));
+  EXPECT_EQ(f[0], "foo");
+  EXPECT_NEAR(std::stod(f[1]), 1.5, 1e-9);
+  EXPECT_EQ(f[2], "3");
+  EXPECT_FALSE(r.next(f));
+}
+
+TEST_F(CsvTest, CommaInFieldThrows) {
+  CsvWriter w(path_);
+  EXPECT_THROW(w.row("a,b"), std::runtime_error);
+}
+
+TEST_F(CsvTest, OpenMissingFileThrows) {
+  EXPECT_THROW(CsvReader("/nonexistent/dir/file.csv"), std::runtime_error);
+}
+
+TEST(SplitCsvLine, HandlesEmptyFields) {
+  auto f = split_csv_line("a,,c");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[1], "");
+}
+
+TEST(SplitCsvLine, SingleField) {
+  auto f = split_csv_line("solo");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0], "solo");
+}
+
+TEST(SplitCsvLine, TrailingComma) {
+  auto f = split_csv_line("a,b,");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[2], "");
+}
+
+}  // namespace
+}  // namespace ilu

@@ -1,0 +1,153 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ilu {
+namespace {
+
+TEST(Json, ParsePrimitives) {
+  EXPECT_TRUE(json_parse("null").is_null());
+  EXPECT_TRUE(json_parse("true").as_bool());
+  EXPECT_FALSE(json_parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(json_parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(json_parse("-3.5").as_number(), -3.5);
+  EXPECT_DOUBLE_EQ(json_parse("1e3").as_number(), 1000.0);
+  EXPECT_EQ(json_parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParseWhitespaceTolerant) {
+  auto v = json_parse("  {\n\t\"a\" : 1 ,\r\n \"b\": [ 2 , 3 ] }  ");
+  EXPECT_DOUBLE_EQ(v.number_or("a", 0), 1.0);
+  EXPECT_EQ(v.find("b")->as_array().size(), 2u);
+}
+
+TEST(Json, ParseNestedStructures) {
+  auto v = json_parse(R"({"outer":{"inner":[{"x":1},{"x":2}]}})");
+  const auto& arr = v.find("outer")->find("inner")->as_array();
+  ASSERT_EQ(arr.size(), 2u);
+  EXPECT_DOUBLE_EQ(arr[1].number_or("x", 0), 2.0);
+}
+
+TEST(Json, StringEscapes) {
+  auto v = json_parse(R"("a\"b\\c\nd\teA")");
+  EXPECT_EQ(v.as_string(), "a\"b\\c\nd\teA");
+}
+
+TEST(Json, UnicodeEscapesUtf8) {
+  // U+00E9 (é) -> two UTF-8 bytes; U+20AC (€) -> three.
+  EXPECT_EQ(json_parse(R"("\u00e9")").as_string(), "\xc3\xa9");
+  EXPECT_EQ(json_parse(R"("\u20ac")").as_string(), "\xe2\x82\xac");
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_TRUE(json_parse("{}").as_object().empty());
+  EXPECT_TRUE(json_parse("[]").as_array().empty());
+}
+
+TEST(Json, RejectsMalformed) {
+  EXPECT_THROW(json_parse(""), JsonError);
+  EXPECT_THROW(json_parse("{"), JsonError);
+  EXPECT_THROW(json_parse("[1,]"), JsonError);
+  EXPECT_THROW(json_parse("{\"a\":}"), JsonError);
+  EXPECT_THROW(json_parse("\"unterminated"), JsonError);
+  EXPECT_THROW(json_parse("tru"), JsonError);
+  EXPECT_THROW(json_parse("01x"), JsonError);
+  EXPECT_THROW(json_parse("nan"), JsonError);
+}
+
+TEST(Json, RejectsTrailingGarbage) {
+  EXPECT_THROW(json_parse("{} extra"), JsonError);
+  EXPECT_THROW(json_parse("1 2"), JsonError);
+}
+
+TEST(Json, RejectsSurrogateEscapes) {
+  // U+1D11E needs a \u surrogate pair; the escaped form is rejected,
+  // but raw UTF-8 for the same character passes through untouched.
+  EXPECT_THROW(json_parse(R"("\ud834\udd1e")"), JsonError);
+  EXPECT_EQ(json_parse("\"\xF0\x9D\x84\x9E\"").as_string(),
+            "\xF0\x9D\x84\x9E");
+}
+
+TEST(Json, TypeMismatchThrows) {
+  auto v = json_parse("{\"a\": 1}");
+  EXPECT_THROW(v.as_array(), JsonError);
+  EXPECT_THROW(v.find("a")->as_string(), JsonError);
+}
+
+TEST(Json, FindOnNonObjectReturnsNull) {
+  EXPECT_EQ(json_parse("[1]").find("a"), nullptr);
+  EXPECT_EQ(json_parse("{\"a\":1}").find("b"), nullptr);
+}
+
+TEST(Json, DefaultsHelpers) {
+  auto v = json_parse(R"({"n": 5, "s": "x", "b": true})");
+  EXPECT_DOUBLE_EQ(v.number_or("n", 1), 5.0);
+  EXPECT_DOUBLE_EQ(v.number_or("missing", 1), 1.0);
+  EXPECT_DOUBLE_EQ(v.number_or("s", 1), 1.0);  // wrong type -> default
+  EXPECT_EQ(v.string_or("s", "d"), "x");
+  EXPECT_EQ(v.string_or("n", "d"), "d");
+  EXPECT_TRUE(v.bool_or("b", false));
+  EXPECT_TRUE(v.bool_or("missing", true));
+}
+
+TEST(Json, DumpCompact) {
+  auto v = json_parse(R"({"b":[1,2],"a":"x"})");
+  // std::map orders keys.
+  EXPECT_EQ(v.dump(), R"({"a":"x","b":[1,2]})");
+}
+
+TEST(Json, DumpPretty) {
+  auto v = json_parse(R"({"a":1})");
+  EXPECT_EQ(v.dump(2), "{\n  \"a\": 1\n}");
+}
+
+TEST(Json, DumpEscapesStrings) {
+  JsonValue v(std::string("line\nbreak\"quote"));
+  EXPECT_EQ(v.dump(), R"("line\nbreak\"quote")");
+}
+
+TEST(Json, DumpNumbersIntegralWithoutFraction) {
+  EXPECT_EQ(JsonValue(42.0).dump(), "42");
+  EXPECT_EQ(JsonValue(2.5).dump(), "2.5");
+  EXPECT_EQ(JsonValue(-7).dump(), "-7");
+}
+
+TEST(Json, RoundTrip) {
+  const char* doc =
+      R"({"arr":[1,2.5,"three",null,true],"nested":{"k":"v"},"num":-1e-3})";
+  auto v = json_parse(doc);
+  auto again = json_parse(v.dump());
+  EXPECT_EQ(v, again);
+}
+
+TEST(Json, RoundTripPretty) {
+  auto v = json_parse(R"({"a":[{"b":1}],"c":false})");
+  EXPECT_EQ(json_parse(v.dump(4)), v);
+}
+
+TEST(Json, BuildProgrammatically) {
+  JsonObject o;
+  o["name"] = "worker0";
+  o["cores"] = 48;
+  o["tags"] = JsonArray{JsonValue("a"), JsonValue("b")};
+  JsonValue v(std::move(o));
+  EXPECT_EQ(v.dump(), R"({"cores":48,"name":"worker0","tags":["a","b"]})");
+}
+
+TEST(Json, ParseFileMissingThrows) {
+  EXPECT_THROW(json_parse_file("/nonexistent/cfg.json"), std::runtime_error);
+}
+
+TEST(Json, DeepNesting) {
+  std::string doc;
+  for (int i = 0; i < 100; ++i) doc += "[";
+  doc += "1";
+  for (int i = 0; i < 100; ++i) doc += "]";
+  auto v = json_parse(doc);
+  const JsonValue* p = &v;
+  for (int i = 0; i < 100; ++i) p = &p->as_array().at(0);
+  EXPECT_DOUBLE_EQ(p->as_number(), 1.0);
+}
+
+}  // namespace
+}  // namespace ilu

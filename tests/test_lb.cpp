@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "lb/chbl.hpp"
+#include "lb/cluster.hpp"
+#include "runtime/sim_runtime.hpp"
+#include "trace/function_profile.hpp"
+
+namespace ilu {
+namespace {
+
+TEST(ConsistentHashRing, CandidatesCoverAllWorkersOnce) {
+  ConsistentHashRing ring(32);
+  for (std::size_t i = 0; i < 5; ++i) ring.add_worker(i);
+  auto cands = ring.candidates("some_function");
+  EXPECT_EQ(cands.size(), 5u);
+  std::set<std::size_t> uniq(cands.begin(), cands.end());
+  EXPECT_EQ(uniq.size(), 5u);
+}
+
+TEST(ConsistentHashRing, StableForSameKey) {
+  ConsistentHashRing ring(32);
+  for (std::size_t i = 0; i < 4; ++i) ring.add_worker(i);
+  EXPECT_EQ(ring.candidates("fn_a"), ring.candidates("fn_a"));
+}
+
+TEST(ConsistentHashRing, DifferentKeysSpreadAcrossWorkers) {
+  ConsistentHashRing ring(64);
+  for (std::size_t i = 0; i < 4; ++i) ring.add_worker(i);
+  std::set<std::size_t> homes;
+  for (int k = 0; k < 100; ++k) {
+    homes.insert(ring.candidates("fn_" + std::to_string(k)).front());
+  }
+  EXPECT_EQ(homes.size(), 4u);
+}
+
+TEST(ConsistentHashRing, RemovalOnlyMovesAffectedKeys) {
+  ConsistentHashRing ring(64);
+  for (std::size_t i = 0; i < 4; ++i) ring.add_worker(i);
+  std::vector<std::size_t> before;
+  for (int k = 0; k < 200; ++k) {
+    before.push_back(ring.candidates("fn_" + std::to_string(k)).front());
+  }
+  ring.remove_worker(2);
+  int moved = 0;
+  for (int k = 0; k < 200; ++k) {
+    auto now = ring.candidates("fn_" + std::to_string(k)).front();
+    if (now != before[k]) {
+      ++moved;
+      EXPECT_EQ(before[k], 2u);  // only keys homed on worker 2 move
+    }
+  }
+  EXPECT_GT(moved, 0);
+}
+
+TEST(ChblBalancer, PicksHomeWorkerWhenUnderBound) {
+  ChblBalancer lb(4);
+  std::vector<double> loads{1.0, 1.0, 1.0, 1.0};
+  std::size_t home = lb.pick("fn_x", loads);
+  // All equal load: home worker chosen, no forwarding.
+  EXPECT_EQ(lb.last_hops(), 0u);
+  EXPECT_LT(home, 4u);
+}
+
+TEST(ChblBalancer, ForwardsWhenHomeOverloaded) {
+  ChblBalancer lb(4, ChblBalancer::Config{.bound_factor = 1.5});
+  std::vector<double> loads{1.0, 1.0, 1.0, 1.0};
+  std::size_t home = lb.pick("fn_x", loads);
+  loads[home] = 100.0;  // overload the home
+  std::size_t next = lb.pick("fn_x", loads);
+  EXPECT_NE(next, home);
+  EXPECT_GE(lb.last_hops(), 1u);
+}
+
+TEST(ChblBalancer, FallsBackToLeastLoadedWhenAllOver) {
+  ChblBalancer lb(3, ChblBalancer::Config{.bound_factor = 0.001});
+  std::vector<double> loads{50.0, 10.0, 90.0};
+  EXPECT_EQ(lb.pick("fn_y", loads), 1u);
+}
+
+TEST(ChblBalancer, BoundedLoadInvariantUnderStream) {
+  // Property: after routing a stream with CH-BL where each assignment adds
+  // load 1, no worker's load exceeds bound*avg + 1 at assignment time
+  // (unless everyone is over).
+  ChblBalancer lb(8, ChblBalancer::Config{.bound_factor = 1.25});
+  std::vector<double> loads(8, 0.0);
+  for (int k = 0; k < 2000; ++k) {
+    std::string key = "fn_" + std::to_string(k % 37);
+    double avg = 0.0;
+    for (double l : loads) avg += l;
+    avg = std::max(1.0, avg / 8.0);
+    std::size_t w = lb.pick(key, loads);
+    EXPECT_LE(loads[w], 1.25 * avg + 1e-9);
+    loads[w] += 1.0;
+    // Decay to emulate completions.
+    for (double& l : loads) l *= 0.995;
+  }
+}
+
+TEST(Cluster, RoutesAndCompletesInvocations) {
+  SimRuntime rt;
+  ClusterConfig cfg;
+  cfg.num_workers = 3;
+  cfg.worker.cores = 4;
+  cfg.worker.memory_mb = 2048;
+  Cluster cluster(rt, cfg);
+  auto fn = cluster.register_function(pyaes());
+  cluster.start();
+  int done = 0;
+  for (int i = 0; i < 10; ++i) {
+    cluster.invoke(fn, [&](const InvokeResult& r) {
+      EXPECT_TRUE(r.success);
+      ++done;
+    });
+  }
+  rt.run_for(mins(2));
+  cluster.shutdown();
+  EXPECT_EQ(done, 10);
+}
+
+TEST(Cluster, ChblKeepsFunctionLocality) {
+  SimRuntime rt;
+  ClusterConfig cfg;
+  cfg.num_workers = 4;
+  cfg.worker.cores = 8;
+  cfg.lb = LbPolicy::ChBl;
+  Cluster cluster(rt, cfg);
+  auto fn = cluster.register_function(pyaes());
+  cluster.start();
+  // Sequential invocations (low load): all should go to the home worker,
+  // maximizing warm starts.
+  int done = 0;
+  std::function<void(int)> chain = [&](int remaining) {
+    if (remaining == 0) return;
+    cluster.invoke(fn, [&, remaining](const InvokeResult&) {
+      ++done;
+      chain(remaining - 1);
+    });
+  };
+  chain(12);
+  rt.run_for(mins(5));
+  cluster.shutdown();
+  EXPECT_EQ(done, 12);
+  // Exactly one worker got everything.
+  int active_workers = 0;
+  for (auto c : cluster.routed()) {
+    if (c > 0) ++active_workers;
+  }
+  EXPECT_EQ(active_workers, 1);
+  EXPECT_EQ(cluster.forwarded(), 0u);
+  // Locality means exactly one cold start across 12 invocations.
+  std::uint64_t cold = 0;
+  for (std::size_t i = 0; i < cluster.num_workers(); ++i) {
+    cold += cluster.worker(i).cold_starts();
+  }
+  EXPECT_EQ(cold, 1u);
+}
+
+TEST(Cluster, RoundRobinSpreadsLoad) {
+  SimRuntime rt;
+  ClusterConfig cfg;
+  cfg.num_workers = 4;
+  cfg.lb = LbPolicy::RoundRobin;
+  Cluster cluster(rt, cfg);
+  auto fn = cluster.register_function(pyaes());
+  cluster.start();
+  for (int i = 0; i < 8; ++i) {
+    cluster.invoke(fn, [](const InvokeResult&) {});
+  }
+  rt.run_for(mins(1));
+  cluster.shutdown();
+  for (auto c : cluster.routed()) EXPECT_EQ(c, 2u);
+}
+
+TEST(Cluster, LeastLoadedAvoidsBusyWorker) {
+  SimRuntime rt;
+  ClusterConfig cfg;
+  cfg.num_workers = 2;
+  cfg.lb = LbPolicy::LeastLoaded;
+  cfg.worker.cores = 2;
+  Cluster cluster(rt, cfg);
+  auto fn = cluster.register_function(
+      lookbusy(secs(30), 128, secs(1)));  // long-running
+  cluster.start();
+  for (int i = 0; i < 4; ++i) {
+    cluster.invoke(fn, [](const InvokeResult&) {});
+    rt.run_for(secs(1));
+  }
+  rt.run_for(secs(5));
+  // Invocations alternate between the two workers.
+  EXPECT_EQ(cluster.routed()[0], 2u);
+  EXPECT_EQ(cluster.routed()[1], 2u);
+  cluster.shutdown();
+}
+
+}  // namespace
+}  // namespace ilu

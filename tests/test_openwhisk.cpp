@@ -1,0 +1,246 @@
+#include "baseline/openwhisk.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/worker.hpp"
+#include "runtime/sim_runtime.hpp"
+#include "trace/function_profile.hpp"
+#include "util/stats.hpp"
+
+namespace ilu {
+namespace {
+
+OpenWhiskConfig base_config() {
+  OpenWhiskConfig cfg;
+  cfg.cores = 8.0;
+  cfg.memory_mb = 4096;
+  cfg.seed = 77;
+  return cfg;
+}
+
+class OpenWhiskTest : public ::testing::Test {
+ protected:
+  OpenWhiskTest() : ow_(rt_, base_config()) {
+    fn_ = ow_.register_function(pyaes());
+    ow_.start();
+  }
+  ~OpenWhiskTest() override { ow_.shutdown(); }
+
+  InvokeResult invoke_and_run(FunctionId fn) {
+    InvokeResult out;
+    bool done = false;
+    ow_.invoke(fn, [&](const InvokeResult& r) {
+      out = r;
+      done = true;
+    });
+    for (int i = 0; i < 10000 && !done; ++i) rt_.run_for(msecs(100));
+    EXPECT_TRUE(done);
+    return out;
+  }
+
+  SimRuntime rt_;
+  OpenWhiskModel ow_;
+  FunctionId fn_ = 0;
+};
+
+TEST_F(OpenWhiskTest, ColdThenWarm) {
+  auto c = invoke_and_run(fn_);
+  EXPECT_TRUE(c.cold);
+  auto w = invoke_and_run(fn_);
+  EXPECT_FALSE(w.cold);
+  EXPECT_EQ(ow_.warm_starts(), 1u);
+  EXPECT_EQ(ow_.cold_starts(), 1u);
+}
+
+TEST_F(OpenWhiskTest, WarmOverheadIsTensOfMilliseconds) {
+  invoke_and_run(fn_);
+  Summary overhead;
+  for (int i = 0; i < 50; ++i) {
+    auto r = invoke_and_run(fn_);
+    overhead.add_ms(r.overhead());
+  }
+  // The paper's Fig 1: OpenWhisk p50 overhead is >10 ms even at low load.
+  EXPECT_GT(overhead.p50(), 8.0);
+  EXPECT_LT(overhead.p50(), 200.0);
+}
+
+TEST_F(OpenWhiskTest, OverheadFarExceedsIluvatar) {
+  // Same machine, same function, warm starts only: OW must be ~5-100x
+  // worse than the Ilúvatar worker (the paper reports ~100x at scale).
+  invoke_and_run(fn_);
+  Summary ow;
+  for (int i = 0; i < 30; ++i) ow.add_ms(invoke_and_run(fn_).overhead());
+
+  WorkerConfig wcfg;
+  wcfg.cores = 8.0;
+  wcfg.memory_mb = 4096;
+  Worker worker(rt_, wcfg);
+  auto f = worker.register_function(pyaes());
+  worker.start();
+  Summary ilu_s;
+  for (int i = 0; i < 31; ++i) {
+    bool done = false;
+    InvokeResult res;
+    worker.invoke(f, [&](const InvokeResult& r) {
+      res = r;
+      done = true;
+    });
+    for (int k = 0; k < 1000 && !done; ++k) rt_.run_for(msecs(100));
+    ASSERT_TRUE(done);
+    if (i > 0) ilu_s.add_ms(res.overhead());  // skip the cold start
+  }
+  worker.shutdown();
+  EXPECT_GT(ow.p50(), 4.0 * ilu_s.p50());
+}
+
+TEST_F(OpenWhiskTest, GcSpikesProduceHeavyTail) {
+  OpenWhiskConfig cfg = base_config();
+  cfg.gc_pause_prob = 0.2;
+  OpenWhiskModel ow(rt_, cfg);
+  auto f = ow.register_function(pyaes());
+  ow.start();
+  Summary overhead;
+  for (int i = 0; i < 100; ++i) {
+    bool done = false;
+    InvokeResult res;
+    ow.invoke(f, [&](const InvokeResult& r) {
+      res = r;
+      done = true;
+    });
+    for (int k = 0; k < 1000 && !done; ++k) rt_.run_for(msecs(100));
+    ASSERT_TRUE(done);
+    overhead.add_ms(res.overhead());
+  }
+  ow.shutdown();
+  // p99 must be far above the median: the characteristic OW jitter.
+  EXPECT_GT(overhead.p99(), 3.0 * overhead.p50());
+}
+
+TEST_F(OpenWhiskTest, DropsWhenMemoryExhaustedAndBufferFull) {
+  OpenWhiskConfig cfg = base_config();
+  cfg.memory_mb = 600;  // one ml_inference container (512 MB)
+  cfg.buffer_capacity = 2;
+  cfg.buffer_timeout = secs(5);
+  OpenWhiskModel ow(rt_, cfg);
+  auto f = ow.register_function(function_bench_app("ml_inference"));
+  ow.start();
+  int dropped = 0, done = 0;
+  for (int i = 0; i < 8; ++i) {
+    ow.invoke(f, [&](const InvokeResult& r) {
+      ++done;
+      dropped += r.dropped ? 1 : 0;
+    });
+  }
+  rt_.run_for(mins(5));
+  ow.shutdown();
+  EXPECT_EQ(done, 8);
+  EXPECT_GT(dropped, 0);
+  EXPECT_EQ(ow.dropped(), static_cast<std::uint64_t>(dropped));
+}
+
+TEST_F(OpenWhiskTest, BufferedInvocationRunsWhenMemoryFrees) {
+  OpenWhiskConfig cfg = base_config();
+  cfg.memory_mb = 600;
+  cfg.buffer_capacity = 10;
+  cfg.buffer_timeout = mins(2);
+  OpenWhiskModel ow(rt_, cfg);
+  auto f = ow.register_function(function_bench_app("ml_inference"));
+  ow.start();
+  int success = 0;
+  for (int i = 0; i < 3; ++i) {
+    ow.invoke(f, [&](const InvokeResult& r) { success += r.success; });
+  }
+  rt_.run_for(mins(4));
+  ow.shutdown();
+  EXPECT_EQ(success, 3);
+}
+
+TEST_F(OpenWhiskTest, ContentionInflatesLatencyWithLoad) {
+  // Overhead at 32 concurrent invocations should exceed overhead at 1.
+  invoke_and_run(fn_);
+  // Warm pool with several containers first.
+  int warmed = 0;
+  for (int i = 0; i < 32; ++i) {
+    ow_.invoke(fn_, [&](const InvokeResult&) { ++warmed; });
+  }
+  rt_.run_for(mins(2));
+  ASSERT_EQ(warmed, 32);
+  // Low load sample.
+  Summary low;
+  for (int i = 0; i < 20; ++i) low.add_ms(invoke_and_run(fn_).overhead());
+  // High load: 32 concurrent.
+  Summary high;
+  int done = 0;
+  for (int i = 0; i < 32; ++i) {
+    ow_.invoke(fn_, [&](const InvokeResult& r) {
+      high.add_ms(r.overhead());
+      ++done;
+    });
+  }
+  rt_.run_for(mins(2));
+  ASSERT_EQ(done, 32);
+  EXPECT_GT(high.mean(), low.mean());
+}
+
+TEST_F(OpenWhiskTest, MaxInflightRejectsWithSystemOverloaded) {
+  OpenWhiskConfig cfg = base_config();
+  cfg.max_inflight = 4;
+  OpenWhiskModel ow(rt_, cfg);
+  auto f = ow.register_function(function_bench_app("ml_inference"));
+  ow.start();
+  int dropped = 0, done = 0;
+  // Burst of 10 slow invocations against a 4-slot admission limit: the
+  // overflow is rejected immediately (OpenWhisk's 429).
+  for (int i = 0; i < 10; ++i) {
+    ow.invoke(f, [&](const InvokeResult& r) {
+      ++done;
+      dropped += r.dropped ? 1 : 0;
+    });
+  }
+  // Rejections are synchronous.
+  EXPECT_EQ(dropped, 6);
+  rt_.run_for(mins(5));
+  ow.shutdown();
+  EXPECT_EQ(done, 10);
+  EXPECT_EQ(ow.dropped(), 6u);
+  EXPECT_EQ(ow.completed(), 4u);
+}
+
+TEST_F(OpenWhiskTest, MaxInflightZeroMeansUnlimited) {
+  OpenWhiskConfig cfg = base_config();
+  cfg.max_inflight = 0;
+  OpenWhiskModel ow(rt_, cfg);
+  auto f = ow.register_function(pyaes());
+  ow.start();
+  int done = 0, dropped = 0;
+  for (int i = 0; i < 20; ++i) {
+    ow.invoke(f, [&](const InvokeResult& r) {
+      ++done;
+      dropped += r.dropped ? 1 : 0;
+    });
+  }
+  rt_.run_for(mins(3));
+  ow.shutdown();
+  EXPECT_EQ(done, 20);
+  EXPECT_EQ(dropped, 0);
+}
+
+TEST_F(OpenWhiskTest, SlotsFreeAfterCompletion) {
+  OpenWhiskConfig cfg = base_config();
+  cfg.max_inflight = 2;
+  OpenWhiskModel ow(rt_, cfg);
+  auto f = ow.register_function(pyaes());
+  ow.start();
+  int ok = 0;
+  ow.invoke(f, [&](const InvokeResult& r) { ok += r.success; });
+  ow.invoke(f, [&](const InvokeResult& r) { ok += r.success; });
+  rt_.run_for(mins(1));
+  // Slots released: a third invocation is admitted.
+  ow.invoke(f, [&](const InvokeResult& r) { ok += r.success; });
+  rt_.run_for(mins(1));
+  ow.shutdown();
+  EXPECT_EQ(ok, 3);
+}
+
+}  // namespace
+}  // namespace ilu

@@ -1,0 +1,274 @@
+// Property-based and randomized ("fuzz") tests: cross-check complex
+// components against simple reference implementations and check invariants
+// under random operation sequences.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <list>
+#include <map>
+
+#include "core/cpu_model.hpp"
+#include "keepalive/cache.hpp"
+#include "keepalive/pool.hpp"
+#include "queueing/invocation_queue.hpp"
+#include "runtime/sim_runtime.hpp"
+#include "trace/function_profile.hpp"
+#include "util/rng.hpp"
+
+namespace ilu {
+namespace {
+
+// ---------- KeepAliveCache vs a reference LRU model ----------
+
+/// Straight-line reference: a list of (fn, release_time) containers with
+/// LRU eviction and no TTL, processed per-invocation.
+struct ReferenceLru {
+  struct Entry {
+    FunctionId fn;
+    TimePoint last_used;
+    TimePoint busy_until;
+    std::uint32_t mem;
+  };
+  std::uint64_t capacity;
+  std::uint64_t used = 0;
+  std::list<Entry> entries;  // arbitrary order; scanned
+  std::uint64_t cold = 0, warm = 0, dropped = 0;
+
+  void invoke(FunctionId fn, std::uint32_t mem, Duration exec_warm,
+              Duration exec_cold, TimePoint t) {
+    // Warm hit: most recently used idle entry of fn.
+    Entry* best = nullptr;
+    for (auto& e : entries) {
+      if (e.fn == fn && e.busy_until <= t) {
+        if (best == nullptr || e.last_used > best->last_used) best = &e;
+      }
+    }
+    if (best != nullptr) {
+      ++warm;
+      best->last_used = t;
+      best->busy_until = t + exec_warm;
+      return;
+    }
+    // Cold: evict LRU idle entries until it fits.
+    while (used + mem > capacity) {
+      Entry* victim = nullptr;
+      for (auto& e : entries) {
+        if (e.busy_until <= t &&
+            (victim == nullptr || e.last_used < victim->last_used)) {
+          victim = &e;
+        }
+      }
+      if (victim == nullptr) break;
+      used -= victim->mem;
+      entries.remove_if([&](const Entry& e) { return &e == victim; });
+    }
+    if (used + mem > capacity) {
+      ++dropped;
+      return;
+    }
+    ++cold;
+    used += mem;
+    entries.push_back(Entry{fn, t, t + exec_cold, mem});
+  }
+};
+
+TEST(FuzzKeepAliveCache, MatchesReferenceLruOnRandomWorkloads) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    Rng rng(seed);
+    std::vector<FunctionProfile> fns;
+    for (int i = 0; i < 12; ++i) {
+      fns.push_back(lookbusy(msecs(rng.uniform(50, 2000)),
+                             static_cast<std::uint32_t>(rng.uniform(64, 512)),
+                             msecs(rng.uniform(100, 3000))));
+    }
+    LruPolicy policy;
+    KeepAliveCache cache(policy, {.capacity_mb = 1500}, fns);
+    ReferenceLru ref{.capacity = 1500, .used = 0, .entries = {}};
+
+    TimePoint t{};
+    for (int k = 0; k < 3000; ++k) {
+      t += msecs(rng.uniform(1, 500));
+      auto fn = static_cast<FunctionId>(rng.uniform_index(fns.size()));
+      cache.on_invocation(fn, t);
+      ref.invoke(fn, fns[fn].mem_mb, fns[fn].warm_time, fns[fn].cold_time(),
+                 t);
+    }
+    EXPECT_EQ(cache.stats().warm_starts, ref.warm) << "seed " << seed;
+    EXPECT_EQ(cache.stats().cold_starts, ref.cold) << "seed " << seed;
+    EXPECT_EQ(cache.stats().dropped, ref.dropped) << "seed " << seed;
+  }
+}
+
+TEST(FuzzKeepAliveCache, MemoryNeverExceedsCapacityUnderAnyPolicy) {
+  for (const char* pol : {"TTL", "LRU", "FREQ", "GD", "LND", "HIST"}) {
+    auto policy = make_policy(pol);
+    Rng rng(42);
+    std::vector<FunctionProfile> fns;
+    for (int i = 0; i < 20; ++i) {
+      fns.push_back(lookbusy(msecs(rng.uniform(10, 800)),
+                             static_cast<std::uint32_t>(rng.uniform(32, 700)),
+                             msecs(rng.uniform(50, 4000))));
+    }
+    KeepAliveCache cache(*policy, {.capacity_mb = 2000}, fns);
+    TimePoint t{};
+    std::uint64_t admitted = 0;
+    for (int k = 0; k < 5000; ++k) {
+      t += msecs(rng.uniform(0, 300));
+      auto out = cache.on_invocation(
+          static_cast<FunctionId>(rng.uniform_index(fns.size())), t);
+      if (!out.dropped) ++admitted;
+      // Core safety invariant: never oversubscribe memory.
+      ASSERT_LE(cache.used_mb(), 2000u) << pol << " step " << k;
+    }
+    EXPECT_GT(admitted, 0u);
+    EXPECT_EQ(cache.stats().warm_starts + cache.stats().cold_starts +
+                  cache.stats().dropped,
+              5000u)
+        << pol;
+  }
+}
+
+// ---------- ContainerPool under random operations ----------
+
+TEST(FuzzContainerPool, RandomOpsPreserveInvariants) {
+  SimRuntime rt;
+  LruPolicy policy;
+  std::uint64_t evicted = 0;
+  ContainerPool pool(rt, policy,
+                     ContainerPool::Config{.capacity_mb = 3000,
+                                           .free_buffer_mb = 0,
+                                           .sweep_interval = Duration::zero()},
+                     [&](std::unique_ptr<Container>) { ++evicted; });
+  Rng rng(7);
+  std::vector<Container*> running;
+  std::uint64_t created = 0, removed = 0, returned = 0, acquired = 0;
+
+  for (int step = 0; step < 20000; ++step) {
+    double dice = rng.uniform();
+    TimePoint now = usecs(step);
+    if (dice < 0.40) {
+      auto fn = static_cast<FunctionId>(rng.uniform_index(10));
+      Container* c = pool.acquire(fn, now);
+      if (c != nullptr) {
+        ASSERT_EQ(c->state, ContainerState::Running);
+        ASSERT_EQ(c->fn, fn);
+        running.push_back(c);
+        ++acquired;
+      }
+    } else if (dice < 0.70) {
+      auto fn = static_cast<FunctionId>(rng.uniform_index(10));
+      auto profile =
+          lookbusy(msecs(100), 100 + 37 * (fn % 5), msecs(500));
+      Container* c = pool.add_container(fn, profile, now);
+      if (c != nullptr) {
+        c->state = ContainerState::Launching;
+        c->state = ContainerState::Running;
+        running.push_back(c);
+        ++created;
+      }
+    } else if (dice < 0.95 && !running.empty()) {
+      auto i = static_cast<std::size_t>(rng.uniform_index(running.size()));
+      pool.return_container(running[i], now);
+      running.erase(running.begin() + static_cast<std::ptrdiff_t>(i));
+      ++returned;
+    } else if (!running.empty()) {
+      auto i = static_cast<std::size_t>(rng.uniform_index(running.size()));
+      pool.remove(running[i]);
+      running.erase(running.begin() + static_cast<std::ptrdiff_t>(i));
+      ++removed;
+    }
+    ASSERT_LE(pool.used_mb(), 3000u);
+    ASSERT_EQ(pool.total_count(), running.size() + pool.idle_count());
+  }
+  // Conservation: every container created was acquired-from-idle, still
+  // running, idle, removed, or evicted.
+  EXPECT_EQ(created, running.size() + pool.idle_count() + removed + evicted +
+                         0 * acquired + 0 * returned);
+}
+
+// ---------- InvocationQueue ordering property ----------
+
+TEST(FuzzInvocationQueue, PopOrderMatchesSortedPriorities) {
+  CharacteristicsMap chars;
+  Rng rng(11);
+  for (FunctionId f = 0; f < 20; ++f) {
+    chars.on_arrival(f, secs(0));
+    chars.record_warm(f, msecs(rng.uniform(10, 5000)));
+    chars.record_cold(f, msecs(rng.uniform(100, 9000)));
+  }
+  for (const char* pol : {"FCFS", "SJF", "EEDF", "RARE"}) {
+    auto policy = make_queue_policy(pol);
+    InvocationQueue q(*policy, chars);
+    std::vector<std::pair<double, std::uint64_t>> expected;  // (pri, seq)
+    std::uint64_t seq = 0;
+    for (int i = 0; i < 500; ++i) {
+      QueueItem item;
+      item.fn = static_cast<FunctionId>(rng.uniform_index(20));
+      item.arrival = msecs(rng.uniform(0, 100000));
+      bool warm = rng.bernoulli(0.5);
+      expected.emplace_back(policy->priority(item, chars, warm), seq++);
+      q.push(std::move(item), warm);
+    }
+    std::sort(expected.begin(), expected.end());
+    for (const auto& [pri, s] : expected) {
+      auto item = q.pop();
+      ASSERT_TRUE(item.has_value()) << pol;
+      ASSERT_EQ(item->seq, s) << pol;
+    }
+    EXPECT_TRUE(q.empty());
+  }
+}
+
+// ---------- SimRuntime determinism under random scheduling ----------
+
+TEST(FuzzSimRuntime, RandomDagReplaysIdentically) {
+  auto run = [](std::uint64_t seed) {
+    SimRuntime rt;
+    Rng rng(seed);
+    std::vector<std::uint64_t> log;
+    std::function<void(int)> spawn = [&](int depth) {
+      log.push_back(rt.now().count());
+      if (depth >= 4) return;
+      int children = static_cast<int>(rng.uniform_index(3));
+      for (int c = 0; c < children; ++c) {
+        rt.schedule(usecs(rng.uniform(1, 1000)),
+                    [&, depth] { spawn(depth + 1); });
+      }
+    };
+    for (int i = 0; i < 50; ++i) {
+      rt.schedule(usecs(rng.uniform(0, 5000)), [&] { spawn(0); });
+    }
+    rt.run();
+    return log;
+  };
+  EXPECT_EQ(run(3), run(3));
+  EXPECT_NE(run(3), run(4));
+}
+
+// ---------- GPS CPU model fairness property sweep ----------
+
+class CpuFairness : public ::testing::TestWithParam<int> {};
+
+TEST_P(CpuFairness, EqualTasksFinishTogetherUnderAnyOvercommit) {
+  int n = GetParam();
+  SimRuntime rt;
+  CpuModel cpu(rt, 4.0);
+  std::vector<TimePoint> done(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    cpu.submit(1.0, 1.0, [&, i] { done[static_cast<std::size_t>(i)] = rt.now(); });
+  }
+  rt.run();
+  for (int i = 1; i < n; ++i) {
+    EXPECT_EQ(done[static_cast<std::size_t>(i)], done[0]);
+  }
+  // Work conservation: n tasks of 1 core-second on 4 cores.
+  double expect = std::max(1.0, n / 4.0);
+  EXPECT_NEAR(to_sec(done[0]), expect, 0.001);
+}
+
+INSTANTIATE_TEST_SUITE_P(Overcommit, CpuFairness,
+                         ::testing::Values(1, 2, 4, 8, 16, 64));
+
+}  // namespace
+}  // namespace ilu

@@ -1,0 +1,105 @@
+#include "runtime/real_runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace ilu {
+namespace {
+
+TEST(RealRuntime, ExecutesPostedTask) {
+  RealRuntime rt;
+  std::atomic<bool> ran{false};
+  rt.post([&] { ran = true; });
+  rt.drain();
+  EXPECT_TRUE(ran);
+}
+
+TEST(RealRuntime, RespectsDelayRoughly) {
+  RealRuntime rt;
+  std::atomic<std::int64_t> fired_at{-1};
+  TimePoint start = rt.now();
+  rt.schedule(msecs(50), [&] { fired_at = (rt.now() - start).count(); });
+  rt.drain();
+  ASSERT_GE(fired_at.load(), msecs(45).count());
+  // Generous upper bound: loaded CI machines can be slow.
+  EXPECT_LT(fired_at.load(), secs(5).count());
+}
+
+TEST(RealRuntime, TasksSerializeInTimeOrder) {
+  RealRuntime rt;
+  std::vector<int> order;
+  rt.schedule(msecs(60), [&] { order.push_back(3); });
+  rt.schedule(msecs(20), [&] { order.push_back(1); });
+  rt.schedule(msecs(40), [&] { order.push_back(2); });
+  rt.drain();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(RealRuntime, CancelPreventsExecution) {
+  RealRuntime rt;
+  std::atomic<bool> fired{false};
+  auto id = rt.schedule(msecs(100), [&] { fired = true; });
+  EXPECT_TRUE(rt.cancel(id));
+  rt.drain();
+  EXPECT_FALSE(fired);
+}
+
+TEST(RealRuntime, ScheduleFromMultipleThreads) {
+  RealRuntime rt;
+  std::atomic<int> count{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 100; ++i) {
+        rt.post([&] { count.fetch_add(1); });
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  rt.drain();
+  EXPECT_EQ(count.load(), 400);
+}
+
+TEST(RealRuntime, ScheduleFromWithinCallback) {
+  RealRuntime rt;
+  std::atomic<int> depth{0};
+  std::function<void()> chain = [&] {
+    if (depth.fetch_add(1) + 1 < 10) rt.post(chain);
+  };
+  rt.post(chain);
+  rt.drain();
+  EXPECT_EQ(depth.load(), 10);
+}
+
+TEST(RealRuntime, ShutdownDropsPendingTimers) {
+  RealRuntime rt;
+  std::atomic<bool> fired{false};
+  rt.schedule(secs(30), [&] { fired = true; });
+  rt.shutdown();
+  EXPECT_FALSE(fired);
+}
+
+TEST(RealRuntime, ScheduleAfterShutdownReturnsInvalid) {
+  RealRuntime rt;
+  rt.shutdown();
+  EXPECT_EQ(rt.schedule(msecs(1), [] {}), Runtime::kInvalidTimer);
+}
+
+TEST(RealRuntime, NowIsMonotonic) {
+  RealRuntime rt;
+  TimePoint a = rt.now();
+  TimePoint b = rt.now();
+  EXPECT_LE(a, b);
+}
+
+TEST(RealRuntime, DrainOnEmptyReturnsImmediately) {
+  RealRuntime rt;
+  rt.drain();  // must not hang
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace ilu
