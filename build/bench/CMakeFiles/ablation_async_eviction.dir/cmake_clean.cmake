@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_async_eviction.dir/ablation_async_eviction.cpp.o"
+  "CMakeFiles/ablation_async_eviction.dir/ablation_async_eviction.cpp.o.d"
+  "ablation_async_eviction"
+  "ablation_async_eviction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_async_eviction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

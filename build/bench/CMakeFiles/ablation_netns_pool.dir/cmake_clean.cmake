@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_netns_pool.dir/ablation_netns_pool.cpp.o"
+  "CMakeFiles/ablation_netns_pool.dir/ablation_netns_pool.cpp.o.d"
+  "ablation_netns_pool"
+  "ablation_netns_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_netns_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_regulator.dir/ablation_regulator.cpp.o"
+  "CMakeFiles/ablation_regulator.dir/ablation_regulator.cpp.o.d"
+  "ablation_regulator"
+  "ablation_regulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_regulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_trace_timeseries.dir/app_trace_timeseries.cpp.o"
+  "CMakeFiles/app_trace_timeseries.dir/app_trace_timeseries.cpp.o.d"
+  "app_trace_timeseries"
+  "app_trace_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_trace_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_exec_increase.dir/fig4_exec_increase.cpp.o"
+  "CMakeFiles/fig4_exec_increase.dir/fig4_exec_increase.cpp.o.d"
+  "fig4_exec_increase"
+  "fig4_exec_increase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_exec_increase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

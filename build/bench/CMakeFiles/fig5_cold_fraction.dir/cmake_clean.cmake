@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_cold_fraction.dir/fig5_cold_fraction.cpp.o"
+  "CMakeFiles/fig5_cold_fraction.dir/fig5_cold_fraction.cpp.o.d"
+  "fig5_cold_fraction"
+  "fig5_cold_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_cold_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

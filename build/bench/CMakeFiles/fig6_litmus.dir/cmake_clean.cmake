@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_litmus.dir/fig6_litmus.cpp.o"
+  "CMakeFiles/fig6_litmus.dir/fig6_litmus.cpp.o.d"
+  "fig6_litmus"
+  "fig6_litmus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_litmus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_faasbench.dir/fig7_faasbench.cpp.o"
+  "CMakeFiles/fig7_faasbench.dir/fig7_faasbench.cpp.o.d"
+  "fig7_faasbench"
+  "fig7_faasbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_faasbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

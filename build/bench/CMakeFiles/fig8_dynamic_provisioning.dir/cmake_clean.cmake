@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_dynamic_provisioning.dir/fig8_dynamic_provisioning.cpp.o"
+  "CMakeFiles/fig8_dynamic_provisioning.dir/fig8_dynamic_provisioning.cpp.o.d"
+  "fig8_dynamic_provisioning"
+  "fig8_dynamic_provisioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_dynamic_provisioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

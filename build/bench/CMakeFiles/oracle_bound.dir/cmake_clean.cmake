@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oracle_bound.dir/oracle_bound.cpp.o"
+  "CMakeFiles/oracle_bound.dir/oracle_bound.cpp.o.d"
+  "oracle_bound"
+  "oracle_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oracle_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

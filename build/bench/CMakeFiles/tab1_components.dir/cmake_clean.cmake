@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_components.dir/tab1_components.cpp.o"
+  "CMakeFiles/tab1_components.dir/tab1_components.cpp.o.d"
+  "tab1_components"
+  "tab1_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab2_trace_stats.dir/tab2_trace_stats.cpp.o"
+  "CMakeFiles/tab2_trace_stats.dir/tab2_trace_stats.cpp.o.d"
+  "tab2_trace_stats"
+  "tab2_trace_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_trace_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faas_sim.dir/faas_sim.cpp.o"
+  "CMakeFiles/faas_sim.dir/faas_sim.cpp.o.d"
+  "faas_sim"
+  "faas_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faas_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

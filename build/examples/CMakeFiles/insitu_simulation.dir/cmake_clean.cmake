@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insitu_simulation.dir/insitu_simulation.cpp.o"
+  "CMakeFiles/insitu_simulation.dir/insitu_simulation.cpp.o.d"
+  "insitu_simulation"
+  "insitu_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insitu_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

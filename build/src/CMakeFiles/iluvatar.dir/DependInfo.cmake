@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/openwhisk.cpp" "src/CMakeFiles/iluvatar.dir/baseline/openwhisk.cpp.o" "gcc" "src/CMakeFiles/iluvatar.dir/baseline/openwhisk.cpp.o.d"
+  "/root/repo/src/containers/backend.cpp" "src/CMakeFiles/iluvatar.dir/containers/backend.cpp.o" "gcc" "src/CMakeFiles/iluvatar.dir/containers/backend.cpp.o.d"
+  "/root/repo/src/containers/container.cpp" "src/CMakeFiles/iluvatar.dir/containers/container.cpp.o" "gcc" "src/CMakeFiles/iluvatar.dir/containers/container.cpp.o.d"
+  "/root/repo/src/containers/netns_pool.cpp" "src/CMakeFiles/iluvatar.dir/containers/netns_pool.cpp.o" "gcc" "src/CMakeFiles/iluvatar.dir/containers/netns_pool.cpp.o.d"
+  "/root/repo/src/core/characteristics.cpp" "src/CMakeFiles/iluvatar.dir/core/characteristics.cpp.o" "gcc" "src/CMakeFiles/iluvatar.dir/core/characteristics.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/CMakeFiles/iluvatar.dir/core/config.cpp.o" "gcc" "src/CMakeFiles/iluvatar.dir/core/config.cpp.o.d"
+  "/root/repo/src/core/cpu_model.cpp" "src/CMakeFiles/iluvatar.dir/core/cpu_model.cpp.o" "gcc" "src/CMakeFiles/iluvatar.dir/core/cpu_model.cpp.o.d"
+  "/root/repo/src/core/energy.cpp" "src/CMakeFiles/iluvatar.dir/core/energy.cpp.o" "gcc" "src/CMakeFiles/iluvatar.dir/core/energy.cpp.o.d"
+  "/root/repo/src/core/span_tracer.cpp" "src/CMakeFiles/iluvatar.dir/core/span_tracer.cpp.o" "gcc" "src/CMakeFiles/iluvatar.dir/core/span_tracer.cpp.o.d"
+  "/root/repo/src/core/worker.cpp" "src/CMakeFiles/iluvatar.dir/core/worker.cpp.o" "gcc" "src/CMakeFiles/iluvatar.dir/core/worker.cpp.o.d"
+  "/root/repo/src/keepalive/cache.cpp" "src/CMakeFiles/iluvatar.dir/keepalive/cache.cpp.o" "gcc" "src/CMakeFiles/iluvatar.dir/keepalive/cache.cpp.o.d"
+  "/root/repo/src/keepalive/clairvoyant.cpp" "src/CMakeFiles/iluvatar.dir/keepalive/clairvoyant.cpp.o" "gcc" "src/CMakeFiles/iluvatar.dir/keepalive/clairvoyant.cpp.o.d"
+  "/root/repo/src/keepalive/policy.cpp" "src/CMakeFiles/iluvatar.dir/keepalive/policy.cpp.o" "gcc" "src/CMakeFiles/iluvatar.dir/keepalive/policy.cpp.o.d"
+  "/root/repo/src/keepalive/pool.cpp" "src/CMakeFiles/iluvatar.dir/keepalive/pool.cpp.o" "gcc" "src/CMakeFiles/iluvatar.dir/keepalive/pool.cpp.o.d"
+  "/root/repo/src/keepalive/provisioner.cpp" "src/CMakeFiles/iluvatar.dir/keepalive/provisioner.cpp.o" "gcc" "src/CMakeFiles/iluvatar.dir/keepalive/provisioner.cpp.o.d"
+  "/root/repo/src/keepalive/simulator.cpp" "src/CMakeFiles/iluvatar.dir/keepalive/simulator.cpp.o" "gcc" "src/CMakeFiles/iluvatar.dir/keepalive/simulator.cpp.o.d"
+  "/root/repo/src/lb/chbl.cpp" "src/CMakeFiles/iluvatar.dir/lb/chbl.cpp.o" "gcc" "src/CMakeFiles/iluvatar.dir/lb/chbl.cpp.o.d"
+  "/root/repo/src/lb/cluster.cpp" "src/CMakeFiles/iluvatar.dir/lb/cluster.cpp.o" "gcc" "src/CMakeFiles/iluvatar.dir/lb/cluster.cpp.o.d"
+  "/root/repo/src/metrics/report.cpp" "src/CMakeFiles/iluvatar.dir/metrics/report.cpp.o" "gcc" "src/CMakeFiles/iluvatar.dir/metrics/report.cpp.o.d"
+  "/root/repo/src/queueing/queue_policy.cpp" "src/CMakeFiles/iluvatar.dir/queueing/queue_policy.cpp.o" "gcc" "src/CMakeFiles/iluvatar.dir/queueing/queue_policy.cpp.o.d"
+  "/root/repo/src/runtime/latency.cpp" "src/CMakeFiles/iluvatar.dir/runtime/latency.cpp.o" "gcc" "src/CMakeFiles/iluvatar.dir/runtime/latency.cpp.o.d"
+  "/root/repo/src/runtime/real_runtime.cpp" "src/CMakeFiles/iluvatar.dir/runtime/real_runtime.cpp.o" "gcc" "src/CMakeFiles/iluvatar.dir/runtime/real_runtime.cpp.o.d"
+  "/root/repo/src/runtime/sim_runtime.cpp" "src/CMakeFiles/iluvatar.dir/runtime/sim_runtime.cpp.o" "gcc" "src/CMakeFiles/iluvatar.dir/runtime/sim_runtime.cpp.o.d"
+  "/root/repo/src/trace/azure.cpp" "src/CMakeFiles/iluvatar.dir/trace/azure.cpp.o" "gcc" "src/CMakeFiles/iluvatar.dir/trace/azure.cpp.o.d"
+  "/root/repo/src/trace/azure_csv.cpp" "src/CMakeFiles/iluvatar.dir/trace/azure_csv.cpp.o" "gcc" "src/CMakeFiles/iluvatar.dir/trace/azure_csv.cpp.o.d"
+  "/root/repo/src/trace/function_profile.cpp" "src/CMakeFiles/iluvatar.dir/trace/function_profile.cpp.o" "gcc" "src/CMakeFiles/iluvatar.dir/trace/function_profile.cpp.o.d"
+  "/root/repo/src/trace/loadgen.cpp" "src/CMakeFiles/iluvatar.dir/trace/loadgen.cpp.o" "gcc" "src/CMakeFiles/iluvatar.dir/trace/loadgen.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/CMakeFiles/iluvatar.dir/trace/trace_io.cpp.o" "gcc" "src/CMakeFiles/iluvatar.dir/trace/trace_io.cpp.o.d"
+  "/root/repo/src/trace/workload.cpp" "src/CMakeFiles/iluvatar.dir/trace/workload.cpp.o" "gcc" "src/CMakeFiles/iluvatar.dir/trace/workload.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/iluvatar.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/iluvatar.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/json.cpp" "src/CMakeFiles/iluvatar.dir/util/json.cpp.o" "gcc" "src/CMakeFiles/iluvatar.dir/util/json.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/iluvatar.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/iluvatar.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/iluvatar.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/iluvatar.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/iluvatar.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/iluvatar.dir/util/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for iluvatar.
+# This may be replaced when dependencies are built.

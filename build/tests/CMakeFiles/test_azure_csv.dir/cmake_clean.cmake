@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_azure_csv.dir/test_azure_csv.cpp.o"
+  "CMakeFiles/test_azure_csv.dir/test_azure_csv.cpp.o.d"
+  "test_azure_csv"
+  "test_azure_csv.pdb"
+  "test_azure_csv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_azure_csv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_azure_model.dir/test_azure_model.cpp.o"
+  "CMakeFiles/test_azure_model.dir/test_azure_model.cpp.o.d"
+  "test_azure_model"
+  "test_azure_model.pdb"
+  "test_azure_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_azure_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_azure_model_extensions.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster_trace.dir/test_cluster_trace.cpp.o"
+  "CMakeFiles/test_cluster_trace.dir/test_cluster_trace.cpp.o.d"
+  "test_cluster_trace"
+  "test_cluster_trace.pdb"
+  "test_cluster_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

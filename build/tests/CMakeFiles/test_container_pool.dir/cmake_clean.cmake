@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_container_pool.dir/test_container_pool.cpp.o"
+  "CMakeFiles/test_container_pool.dir/test_container_pool.cpp.o.d"
+  "test_container_pool"
+  "test_container_pool.pdb"
+  "test_container_pool[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_container_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

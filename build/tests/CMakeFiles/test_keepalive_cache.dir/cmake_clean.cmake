@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_keepalive_cache.dir/test_keepalive_cache.cpp.o"
+  "CMakeFiles/test_keepalive_cache.dir/test_keepalive_cache.cpp.o.d"
+  "test_keepalive_cache"
+  "test_keepalive_cache.pdb"
+  "test_keepalive_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_keepalive_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

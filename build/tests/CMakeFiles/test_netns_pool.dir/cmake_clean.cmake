@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netns_pool.dir/test_netns_pool.cpp.o"
+  "CMakeFiles/test_netns_pool.dir/test_netns_pool.cpp.o.d"
+  "test_netns_pool"
+  "test_netns_pool.pdb"
+  "test_netns_pool[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netns_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

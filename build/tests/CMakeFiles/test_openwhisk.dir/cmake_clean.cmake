@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_openwhisk.dir/test_openwhisk.cpp.o"
+  "CMakeFiles/test_openwhisk.dir/test_openwhisk.cpp.o.d"
+  "test_openwhisk"
+  "test_openwhisk.pdb"
+  "test_openwhisk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_openwhisk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

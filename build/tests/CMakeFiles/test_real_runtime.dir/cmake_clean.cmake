@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_real_runtime.dir/test_real_runtime.cpp.o"
+  "CMakeFiles/test_real_runtime.dir/test_real_runtime.cpp.o.d"
+  "test_real_runtime"
+  "test_real_runtime.pdb"
+  "test_real_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_real_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_worker_integration.dir/test_worker_integration.cpp.o"
+  "CMakeFiles/test_worker_integration.dir/test_worker_integration.cpp.o.d"
+  "test_worker_integration"
+  "test_worker_integration.pdb"
+  "test_worker_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_worker_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
