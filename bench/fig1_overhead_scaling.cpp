@@ -17,7 +17,7 @@ struct Point {
   double p50, p99, mean;
 };
 
-Point measure_iluvatar(std::size_t clients) {
+Point measure_iluvatar(std::size_t clients, bool export_obs = false) {
   SimRuntime rt;
   WorkerConfig cfg;
   cfg.cores = 48.0;
@@ -35,6 +35,15 @@ Point measure_iluvatar(std::size_t clients) {
   auto results =
       run_closed_loop(rt, worker_invoker(w), clients, /*iters=*/40);
   w.shutdown();
+  if (export_obs) {
+    // Structured outputs for the deepest point on the curve: per-function
+    // report + the worker's live-metric snapshot.
+    ExperimentReport report({"pyaes"});
+    report.add_all(results);
+    report.write_json(results_dir() + "/fig1_report.json");
+    write_metrics_json(w.metrics().snapshot(),
+                       results_dir() + "/fig1_worker_metrics.json");
+  }
   auto s = warm_overheads(results);
   return {clients, s.p50(), s.p99(), s.mean()};
 }
@@ -79,7 +88,7 @@ int main() {
           "ow_p99_ms", "ow_mean_ms");
 
   for (std::size_t clients : {1u, 2u, 4u, 8u, 16u, 32u, 48u, 64u, 96u}) {
-    auto il = measure_iluvatar(clients);
+    auto il = measure_iluvatar(clients, /*export_obs=*/clients == 96u);
     auto ow = measure_openwhisk(clients);
     std::printf("%10zu | %8.2f %8.2f %8.2f | %8.2f %8.2f %8.2f\n", clients,
                 il.p50, il.p99, il.mean, ow.p50, ow.p99, ow.mean);

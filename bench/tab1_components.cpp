@@ -1,6 +1,12 @@
 // Table 1: latency of each Ilúvatar worker component for a single warm
 // invocation, grouped as in the paper (Ingestion & Queuing / Container
 // Operations / Agent Communication / Returning).
+//
+// Besides the table itself (stdout + results/tab1_components.csv), this
+// dumps the raw transaction-scoped spans as a Chrome trace
+// (results/tab1_trace.json — the table can be regenerated from it with
+// `trace_tool tab1`, see EXPERIMENTS.md) and the worker's metric snapshot
+// (results/tab1_metrics.json).
 
 #include "bench_util.hpp"
 
@@ -35,6 +41,12 @@ int main() {
   chain(kWarmRuns);
   while (completed < kWarmRuns) rt.run_for(secs(5));
   w.shutdown();
+
+  // Raw span dump + metrics snapshot (before the table, which reads the
+  // same tracer aggregates).
+  write_chrome_trace(w.tracer().spans(), results_dir() + "/tab1_trace.json");
+  write_metrics_json(w.metrics().snapshot(),
+                     results_dir() + "/tab1_metrics.json");
 
   struct Row {
     const char* group;

@@ -1,15 +1,20 @@
 // Trace generation/inspection CLI for the Azure-model workloads.
 //
-//   ./trace_tool gen  <prefix> [rep|rare|random] [n] [target_rps] [hours]
-//   ./trace_tool info <prefix>
+//   ./trace_tool gen    <prefix> [rep|rare|random] [n] [target_rps] [hours]
+//   ./trace_tool info   <prefix>
+//   ./trace_tool replay <prefix> [--trace-out <file>]
+//   ./trace_tool tab1   <dump.json>
 //
 // `gen` writes <prefix>_functions.csv and <prefix>_events.csv (replayable
 // by faas_sim and the library's load_trace()); `info` prints statistics of
-// a saved trace.
+// a saved trace; `replay` runs the trace through a simulated worker and can
+// dump the transaction-scoped span trees as a Chrome trace; `tab1`
+// recomputes the Table 1 per-component latency view from such a dump.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 
 #include "iluvatar.hpp"
@@ -79,14 +84,135 @@ int cmd_info(char** argv) {
   return 0;
 }
 
+int cmd_replay(int argc, char** argv) {
+  std::string prefix = argv[2];
+  std::string trace_out;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-out") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--trace-out requires a file argument\n");
+        return 2;
+      }
+      trace_out = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown replay option: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  Trace t = load_trace(prefix);
+  SimRuntime rt;
+  WorkerConfig cfg;
+  cfg.cores = 48.0;
+  cfg.memory_mb = 32 * 1024;
+  Worker w(rt, cfg);
+  std::vector<std::string> names;
+  for (const auto& f : t.functions) {
+    w.register_function(f);
+    names.push_back(f.name);
+  }
+  w.start();
+
+  OpenLoopDriver driver(rt, [&w](FunctionId fn,
+                                 std::function<void(const InvokeResult&)> cb) {
+    w.invoke(fn, std::move(cb));
+  });
+  driver.start(t);
+  TimePoint deadline = rt.now() + t.duration + mins(5);
+  while (!driver.done() && rt.now() < deadline) rt.run_for(secs(5));
+  w.shutdown();
+
+  ExperimentReport report(names);
+  report.add_all(driver.results());
+  std::printf("%s", report.format().c_str());
+
+  if (!trace_out.empty()) {
+    auto spans = w.tracer().spans();
+    write_chrome_trace(spans, trace_out);
+    std::uint64_t dropped = w.tracer().tx().dropped_records();
+    std::printf("\nwrote %zu spans to %s (Chrome trace format)%s\n",
+                spans.size(), trace_out.c_str(),
+                dropped ? " — shard record cap reached, tail truncated" : "");
+  }
+  return 0;
+}
+
+/// Regenerate the Table 1 view (mean latency per control-plane component)
+/// from a Chrome trace dump written by `replay --trace-out`,
+/// bench/tab1_components, or insitu_simulation.
+int cmd_tab1(char** argv) {
+  JsonValue doc = json_parse_file(argv[2]);
+  const JsonValue* events = doc.find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    std::fprintf(stderr, "%s: no traceEvents array\n", argv[2]);
+    return 1;
+  }
+  std::map<std::string, Summary> by_name;
+  for (const JsonValue& e : events->as_array()) {
+    const JsonValue* name = e.find("name");
+    const JsonValue* dur = e.find("dur");
+    if (name == nullptr || dur == nullptr) continue;
+    by_name[name->as_string()].add(dur->as_number() / 1000.0);  // us -> ms
+  }
+
+  struct Row {
+    const char* group;
+    const char* span;
+  };
+  const Row rows[] = {
+      {"Ingestion & Queuing", spans::kInvoke},
+      {"Ingestion & Queuing", spans::kSyncInvoke},
+      {"Ingestion & Queuing", spans::kEnqueueInvocation},
+      {"Ingestion & Queuing", spans::kAddItemToQ},
+      {"Container Operations", spans::kSpawnWorker},
+      {"Container Operations", spans::kDequeue},
+      {"Container Operations", spans::kAcquireContainer},
+      {"Container Operations", spans::kTryLockContainer},
+      {"Agent Communication", spans::kPrepareInvoke},
+      {"Agent Communication", spans::kCallContainer},
+      {"Agent Communication", spans::kDownloadResult},
+      {"Returning", spans::kReturnContainer},
+      {"Returning", spans::kReturnResults},
+  };
+  std::printf("Table 1 from %s\n", argv[2]);
+  std::printf("%-22s %-20s %12s %10s\n", "Group", "Function", "mean ms",
+              "count");
+  double total = 0.0;
+  for (const auto& r : rows) {
+    auto it = by_name.find(r.span);
+    if (it == by_name.end()) continue;
+    total += it->second.mean();
+    std::printf("%-22s %-20s %12.3f %10zu\n", r.group, r.span,
+                it->second.mean(), it->second.count());
+  }
+  std::printf("%-22s %-20s %12.3f\n", "TOTAL", "", total);
+  // Spans in the dump that are not Table 1 rows (e.g. from other layers).
+  for (const auto& [name, s] : by_name) {
+    bool known = false;
+    for (const auto& r : rows) known = known || name == r.span;
+    if (!known) {
+      std::printf("%-22s %-20s %12.3f %10zu\n", "(other)", name.c_str(),
+                  s.mean(), s.count());
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   if (argc >= 3 && std::strcmp(argv[1], "gen") == 0) return cmd_gen(argc, argv);
   if (argc >= 3 && std::strcmp(argv[1], "info") == 0) return cmd_info(argv);
+  if (argc >= 3 && std::strcmp(argv[1], "replay") == 0)
+    return cmd_replay(argc, argv);
+  if (argc >= 3 && std::strcmp(argv[1], "tab1") == 0) return cmd_tab1(argv);
   std::fprintf(stderr,
                "usage:\n  %s gen <prefix> [rep|rare|random] [n] [target_rps] "
-               "[hours]\n  %s info <prefix>\n",
-               argv[0], argv[0]);
+               "[hours]\n  %s info <prefix>\n  %s replay <prefix> "
+               "[--trace-out <file>]\n  %s tab1 <dump.json>\n",
+               argv[0], argv[0], argv[0], argv[0]);
   return 2;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
 }

@@ -35,6 +35,9 @@ struct Container {
   /// Whether the cached per-container HTTP client exists yet; the first
   /// agent call on a fresh container pays connection setup (§4.3.1).
   bool http_client_cached = false;
+  /// Parked by a prewarm and not yet used by an invocation (drives the
+  /// pool's prewarmed-containers gauge).
+  bool prewarm_parked = false;
 
   bool runnable() const { return state == ContainerState::Idle; }
 };

@@ -3,13 +3,15 @@
 namespace ilu {
 
 double SpanTracer::mean_ms(const std::string& name) const {
-  auto it = summaries_.find(name);
-  return it == summaries_.end() ? 0.0 : it->second.mean();
+  auto agg = tx_->aggregate();
+  auto it = agg.find(name);
+  return it == agg.end() ? 0.0 : it->second.mean();
 }
 
 std::uint64_t SpanTracer::count(const std::string& name) const {
-  auto it = summaries_.find(name);
-  return it == summaries_.end() ? 0 : it->second.count();
+  auto agg = tx_->aggregate();
+  auto it = agg.find(name);
+  return it == agg.end() ? 0 : it->second.count();
 }
 
 }  // namespace ilu

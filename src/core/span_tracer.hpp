@@ -1,13 +1,23 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <string>
+#include <vector>
 
+#include "obs/tracer.hpp"
 #include "util/stats.hpp"
 
 /// Per-component latency tracing (the paper's `tracing`-crate instrumenting,
 /// which produces Table 1). The worker records the latency of every named
 /// span it executes; summaries are grouped the same way Table 1 groups them.
+///
+/// Since the observability PR this is a thin facade over the
+/// transaction-scoped TransactionTracer (obs/tracer.hpp): spans carry the
+/// invocation's TransactionId and a parent id (forming a per-invocation span
+/// tree, exportable as a Chrome trace), are recorded into per-thread shards
+/// with no shared lock on the hot path, and the Table 1 aggregate view is
+/// computed by merging the shards on demand.
 namespace ilu {
 
 /// Canonical span names, in invocation order (Table 1 rows).
@@ -31,27 +41,48 @@ class SpanTracer {
  public:
   /// Enabled by default; disable to remove all bookkeeping cost (the paper
   /// ships tracing off by default for the same reason).
-  explicit SpanTracer(bool enabled = true) : enabled_(enabled) {}
+  explicit SpanTracer(bool enabled = true)
+      : tx_(std::make_unique<TransactionTracer>(enabled)) {}
 
+  SpanTracer(SpanTracer&&) = default;
+  SpanTracer& operator=(SpanTracer&&) = default;
+
+  /// Aggregate-only record (no span tree / trace-dump entry): kept for
+  /// callers that have a duration but no transaction context.
   void record(const std::string& name, Duration d) {
-    if (!enabled_) return;
-    summaries_[name].add_ms(d);
+    tx_->record_aggregate(name, d);
   }
 
-  bool enabled() const { return enabled_; }
+  /// Allocate a transaction id for a new invocation.
+  TransactionId begin_transaction() { return tx_->begin_transaction(); }
+
+  /// Record a span in transaction `tx` with an explicit start time and
+  /// parent (kNoSpan = root). Returns the span's id for child linking.
+  SpanId record_tx(TransactionId tx, const char* name, TimePoint start,
+                   Duration d, SpanId parent = kNoSpan) {
+    return tx_->record(tx, name, start, d, parent);
+  }
+
+  bool enabled() const { return tx_->enabled(); }
 
   /// Mean latency of a span in ms (0 if never recorded).
   double mean_ms(const std::string& name) const;
   std::uint64_t count(const std::string& name) const;
 
-  /// All recorded spans, sorted by name.
-  const std::map<std::string, Summary>& all() const { return summaries_; }
+  /// All recorded spans merged across shards, keyed and sorted by name.
+  std::map<std::string, Summary> all() const { return tx_->aggregate(); }
 
-  void clear() { summaries_.clear(); }
+  /// The merged span records (for Chrome-trace export), sorted by start.
+  std::vector<SpanRecord> spans() const { return tx_->collect(); }
+
+  void clear() { tx_->clear(); }
+
+  /// The underlying transaction-scoped tracer.
+  TransactionTracer& tx() { return *tx_; }
+  const TransactionTracer& tx() const { return *tx_; }
 
  private:
-  bool enabled_;
-  std::map<std::string, Summary> summaries_;
+  std::unique_ptr<TransactionTracer> tx_;
 };
 
 }  // namespace ilu

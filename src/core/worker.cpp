@@ -65,6 +65,25 @@ Worker::Worker(Runtime& rt, WorkerConfig cfg)
       queue_(*q_policy_, chars_),
       regulator_(cfg_.regulator) {
   tracer_ = SpanTracer(cfg_.tracing);
+  ins_.invocations = metrics_.counter("worker.invocations");
+  ins_.completed = metrics_.counter("worker.completed");
+  ins_.warm = metrics_.counter("worker.warm_starts");
+  ins_.cold = metrics_.counter("worker.cold_starts");
+  ins_.failures = metrics_.counter("worker.failures");
+  ins_.bypassed = metrics_.counter("worker.bypassed");
+  ins_.prewarms = metrics_.counter("worker.prewarms");
+  ins_.inflight = metrics_.gauge("worker.inflight");
+  ins_.queue_wait_ms = metrics_.histogram("queue.wait_ms", 5.0, 200);
+  ins_.overhead_ms = metrics_.histogram("worker.overhead_ms", 0.5, 200);
+  queue_.set_depth_gauge(metrics_.gauge("queue.depth"));
+  pool_.set_metrics({.evictions = metrics_.counter("pool.evictions"),
+                     .expirations = metrics_.counter("pool.expirations"),
+                     .prewarm_parks = metrics_.counter("pool.prewarm_parks"),
+                     .total = metrics_.gauge("pool.containers"),
+                     .idle = metrics_.gauge("pool.idle"),
+                     .busy = metrics_.gauge("pool.busy"),
+                     .prewarmed = metrics_.gauge("pool.prewarmed"),
+                     .used_mb = metrics_.gauge("pool.used_mb")});
   if (cfg_.predictive_prewarm) {
     pool_.set_prewarm_requester([this](FunctionId fn, TimePoint at) {
       if (!started_ || pending_prewarms_.count(fn) > 0) return;
@@ -128,11 +147,15 @@ double Worker::cp_scale() const {
   return 1.0 + cfg_.cp_contention_factor * over;
 }
 
-Duration Worker::span(const char* name, const LatencyModel& model) {
+Duration Worker::span(Pending& p, const char* name, const LatencyModel& model,
+                      Duration offset) {
   Duration d = model.sample(rng_);
   d = Duration{static_cast<std::int64_t>(
       static_cast<double>(d.count()) * cp_scale())};
-  tracer_.record(name, d);
+  // The first span of the transaction (kInvoke) becomes the root of the
+  // invocation's span tree; every later stage hangs off it.
+  SpanId id = tracer_.record_tx(p.tx, name, rt_.now() + offset, d, p.root);
+  if (p.root == kNoSpan) p.root = id;
   return d;
 }
 
@@ -144,17 +167,20 @@ void Worker::invoke(FunctionId fn, InvokeCb cb) {
   p->fn = fn;
   p->submitted = rt_.now();
   p->cb = std::move(cb);
+  p->tx = tracer_.begin_transaction();
+  ins_.invocations->inc();
   chars_.on_arrival(fn, p->submitted);
   // Keep-alive policies observe every arrival (HIST builds its IAT
   // histograms from this, independent of cache contents).
   ka_policy_->on_invocation(fn, p->submitted);
 
-  // Ingestion spans (Table 1 group 1).
+  // Ingestion spans (Table 1 group 1), laid out back to back in time.
   const auto& L = cfg_.latencies;
-  Duration ingest = span(spans::kInvoke, L.invoke) +
-                    span(spans::kSyncInvoke, L.sync_invoke) +
-                    span(spans::kEnqueueInvocation, L.enqueue_invocation) +
-                    span(spans::kAddItemToQ, L.add_item_to_q);
+  Duration ingest{};
+  ingest += span(*p, spans::kInvoke, L.invoke, ingest);
+  ingest += span(*p, spans::kSyncInvoke, L.sync_invoke, ingest);
+  ingest += span(*p, spans::kEnqueueInvocation, L.enqueue_invocation, ingest);
+  ingest += span(*p, spans::kAddItemToQ, L.add_item_to_q, ingest);
   p->pre_overhead = ingest;
   rt_.schedule(ingest, [this, p] { enqueue(p); });
 }
@@ -185,7 +211,9 @@ void Worker::enqueue(PendingPtr p) {
         norm_load < cfg_.bypass_load_limit) {
       p->bypassed = true;
       ++bypass_count_;
+      ins_.bypassed->inc();
       ++running_;
+      ins_.inflight->set(static_cast<std::int64_t>(running_));
       dispatch(p);
       return;
     }
@@ -195,6 +223,7 @@ void Worker::enqueue(PendingPtr p) {
   item.arrival = p->submitted;
   item.dispatch = [this, p] {
     ++running_;
+    ins_.inflight->set(static_cast<std::int64_t>(running_));
     dispatch(p);
   };
   queue_.push(std::move(item), pool_.has_idle(p->fn));
@@ -210,12 +239,13 @@ void Worker::pump() {
 
 void Worker::dispatch(PendingPtr p) {
   const auto& L = cfg_.latencies;
-  Duration d = span(spans::kSpawnWorker, L.spawn_worker) +
-               span(spans::kDequeue, L.dequeue) +
-               span(spans::kAcquireContainer, L.acquire_container);
+  Duration d{};
+  d += span(*p, spans::kSpawnWorker, L.spawn_worker, d);
+  d += span(*p, spans::kDequeue, L.dequeue, d);
+  d += span(*p, spans::kAcquireContainer, L.acquire_container, d);
   Container* c = pool_.acquire(p->fn, rt_.now());
   if (c != nullptr) {
-    d += span(spans::kTryLockContainer, L.try_lock_container);
+    d += span(*p, spans::kTryLockContainer, L.try_lock_container, d);
     p->pre_overhead += d;
     rt_.schedule(d, [this, p, c] { launch_exec(p, c, /*cold=*/false); });
     return;
@@ -231,6 +261,7 @@ void Worker::cold_start(PendingPtr p) {
   if (c == nullptr) {
     // Memory exhausted by busy containers: park until something frees.
     --running_;
+    ins_.inflight->set(static_cast<std::int64_t>(running_));
     waiting_memory_.push_back(p);
     return;
   }
@@ -255,6 +286,7 @@ void Worker::cold_start(PendingPtr p) {
             cold_start(p);
           } else {
             --running_;
+            ins_.inflight->set(static_cast<std::int64_t>(running_));
             fail(p);
             pump();
           }
@@ -274,8 +306,9 @@ void Worker::cold_start(PendingPtr p) {
 
 void Worker::launch_exec(PendingPtr p, Container* c, bool cold) {
   const auto& L = cfg_.latencies;
-  Duration d = span(spans::kPrepareInvoke, L.prepare_invoke) +
-               span(spans::kCallContainer, L.call_container);
+  Duration d{};
+  d += span(*p, spans::kPrepareInvoke, L.prepare_invoke, d);
+  d += span(*p, spans::kCallContainer, L.call_container, d);
   if (!c->http_client_cached) {
     // First call to this container: HTTP client setup (§4.3.1).
     d += L.http_connect.sample(rng_);
@@ -297,12 +330,14 @@ void Worker::launch_exec(PendingPtr p, Container* c, bool cold) {
 void Worker::finish(PendingPtr p, Container* c, bool cold, bool ok,
                     Duration actual_exec) {
   const auto& L = cfg_.latencies;
-  Duration d = span(spans::kDownloadResult, L.download_result) +
-               span(spans::kReturnContainer, L.return_container) +
-               span(spans::kReturnResults, L.return_results);
+  Duration d{};
+  d += span(*p, spans::kDownloadResult, L.download_result, d);
+  d += span(*p, spans::kReturnContainer, L.return_container, d);
+  d += span(*p, spans::kReturnResults, L.return_results, d);
   rt_.schedule(d, [this, p, c, cold, ok, actual_exec] {
     pool_.return_container(c, rt_.now());
     --running_;
+    ins_.inflight->set(static_cast<std::int64_t>(running_));
     if (ok) {
       InvokeResult r;
       r.success = true;
@@ -316,6 +351,9 @@ void Worker::finish(PendingPtr p, Container* c, bool cold, bool ok,
       r.queue_wait = (p->exec_started - p->submitted) - p->pre_overhead;
       if (r.queue_wait < Duration::zero()) r.queue_wait = Duration::zero();
       ++completed_;
+      ins_.completed->inc();
+      ins_.queue_wait_ms->observe(to_ms(r.queue_wait));
+      ins_.overhead_ms->observe(to_ms(r.overhead()));
       // Congestion signal per §5.1: "the increase in execution time" —
       // contention inflation of execution, NOT flow stretch (flow stretch
       // includes queueing, so shrinking the limit would raise the signal
@@ -328,9 +366,11 @@ void Worker::finish(PendingPtr p, Container* c, bool cold, bool ok,
       }
       if (cold) {
         ++cold_count_;
+        ins_.cold->inc();
         chars_.record_cold(p->fn, actual_exec);
       } else {
         ++warm_count_;
+        ins_.warm->inc();
         chars_.record_warm(p->fn, actual_exec);
       }
       if (p->cb) p->cb(r);
@@ -344,6 +384,7 @@ void Worker::finish(PendingPtr p, Container* c, bool cold, bool ok,
 
 void Worker::fail(PendingPtr p) {
   ++failure_count_;
+  ins_.failures->inc();
   InvokeResult r;
   r.success = false;
   r.fn = p->fn;
@@ -363,6 +404,7 @@ void Worker::on_memory_released() {
     item.arrival = p->submitted;
     item.dispatch = [this, p] {
       ++running_;
+      ins_.inflight->set(static_cast<std::int64_t>(running_));
       dispatch(p);
     };
     queue_.push(std::move(item), pool_.has_idle(p->fn));
@@ -391,6 +433,7 @@ void Worker::prewarm(FunctionId fn, std::function<void(bool)> cb) {
         c->state = ContainerState::Launching;
         pool_.park_prewarmed(c, rt_.now());
         ++prewarm_count_;
+        ins_.prewarms->inc();
         if (cb) cb(true);
       });
     });

@@ -14,6 +14,7 @@
 #include "core/cpu_model.hpp"
 #include "core/span_tracer.hpp"
 #include "keepalive/pool.hpp"
+#include "obs/metrics.hpp"
 #include "queueing/invocation_queue.hpp"
 #include "queueing/regulator.hpp"
 #include "runtime/runtime.hpp"
@@ -139,6 +140,10 @@ class Worker {
 
   /// Component access for tests, benches, and research instrumentation.
   SpanTracer& tracer() { return tracer_; }
+  /// Live metrics (counters/gauges/histograms) for this worker: invocation
+  /// counts, in-flight level, queue depth/wait, pool occupancy, overheads.
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
   CpuModel& cpu() { return cpu_; }
   ContainerPool& pool() { return pool_; }
   NetnsPool& netns() { return netns_; }
@@ -155,12 +160,19 @@ class Worker {
     InvokeCb cb;
     bool bypassed = false;
     int create_attempts = 0;
+    /// Transaction-scoped tracing: every span of this invocation carries
+    /// `tx`; the first span recorded becomes the root of its span tree.
+    TransactionId tx = 0;
+    SpanId root = kNoSpan;
   };
   using PendingPtr = std::shared_ptr<Pending>;
 
-  /// Sample a span latency, record it, and return it (scaled by current
-  /// control-plane contention).
-  Duration span(const char* name, const LatencyModel& model);
+  /// Sample a span latency (scaled by current control-plane contention),
+  /// record it under p's transaction starting `offset` after now, and
+  /// return it. The first span recorded for p becomes its tree root;
+  /// subsequent ones are its children.
+  Duration span(Pending& p, const char* name, const LatencyModel& model,
+                Duration offset = Duration::zero());
   double cp_scale() const;
 
   void enqueue(PendingPtr p);
@@ -181,6 +193,21 @@ class Worker {
   std::vector<FunctionProfile> functions_;
   CharacteristicsMap chars_;
   SpanTracer tracer_;
+  MetricsRegistry metrics_;
+  /// Instruments resolved once at construction; hot-path updates are
+  /// single relaxed atomics through these pointers.
+  struct Instruments {
+    Counter* invocations = nullptr;
+    Counter* completed = nullptr;
+    Counter* warm = nullptr;
+    Counter* cold = nullptr;
+    Counter* failures = nullptr;
+    Counter* bypassed = nullptr;
+    Counter* prewarms = nullptr;
+    Gauge* inflight = nullptr;
+    Histogram* queue_wait_ms = nullptr;
+    Histogram* overhead_ms = nullptr;
+  } ins_;
   CpuModel cpu_;
   std::unique_ptr<KeepAlivePolicy> ka_policy_;
   ContainerPool pool_;

@@ -15,6 +15,8 @@
 ///              provisioning
 ///   queueing/  invocation queue disciplines (FCFS/SJF/EEDF/RARE),
 ///              concurrency regulator (fixed/AIMD), bypass
+///   obs/       observability: transaction-scoped span trees, the metrics
+///              registry, and Chrome-trace/JSON exporters
 ///   core/      the Ilúvatar worker and its substrates (CPU model, span
 ///              tracer, function characteristics)
 ///   baseline/  the OpenWhisk behavioural model (and FaasCache, via its
@@ -39,6 +41,10 @@
 #include "lb/chbl.hpp"
 #include "lb/cluster.hpp"
 #include "metrics/report.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/tracer.hpp"
 #include "queueing/invocation_queue.hpp"
 #include "queueing/queue_policy.hpp"
 #include "queueing/regulator.hpp"

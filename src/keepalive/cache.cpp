@@ -16,6 +16,18 @@ KeepAliveCache::KeepAliveCache(KeepAlivePolicy& policy, Config cfg,
       cold_by_fn_(functions_.size(), 0),
       dropped_by_fn_(functions_.size(), 0) {}
 
+void KeepAliveCache::sync_metrics() {
+  if (metrics_.used_mb) {
+    metrics_.used_mb->set(static_cast<std::int64_t>(used_mb_));
+  }
+  if (metrics_.idle) {
+    metrics_.idle->set(static_cast<std::int64_t>(rank_index_.size()));
+  }
+  if (metrics_.busy) {
+    metrics_.busy->set(static_cast<std::int64_t>(busy_count_));
+  }
+}
+
 void KeepAliveCache::insert_into_idle(Node* n) {
   assert(!n->idle);
   n->idle = true;
@@ -43,8 +55,10 @@ void KeepAliveCache::destroy(Node* n, bool expired) {
   policy_.on_evict(n->entry);
   if (expired) {
     ++stats_.expirations;
+    if (metrics_.expirations) metrics_.expirations->inc();
   } else {
     ++stats_.evictions;
+    if (metrics_.evictions) metrics_.evictions->inc();
   }
   FunctionId fn = n->entry.fn;
   // Swap-remove from the owning vector.
@@ -57,6 +71,7 @@ void KeepAliveCache::destroy(Node* n, bool expired) {
     node_slot_[nodes_[slot].get()] = slot;
   }
   nodes_.pop_back();
+  sync_metrics();
   if (expired && cfg_.enable_prewarm) maybe_schedule_prewarm(fn);
 }
 
@@ -79,6 +94,7 @@ void KeepAliveCache::sweep_expired() {
 void KeepAliveCache::process_release(Node* n) {
   insert_into_idle(n);
   --busy_count_;
+  sync_metrics();
 }
 
 void KeepAliveCache::maybe_schedule_prewarm(FunctionId fn) {
@@ -113,6 +129,8 @@ void KeepAliveCache::process_prewarm(FunctionId fn, TimePoint) {
   used_mb_ += p.mem_mb;
   insert_into_idle(raw);
   ++stats_.prewarm_creates;
+  if (metrics_.prewarms) metrics_.prewarms->inc();
+  sync_metrics();
 }
 
 void KeepAliveCache::advance_to(TimePoint t) {
@@ -182,8 +200,10 @@ KeepAliveCache::Outcome KeepAliveCache::on_invocation(FunctionId fn,
     out.exec = p.warm_time;
     releases_.push(Release{t + out.exec, n});
     ++stats_.warm_starts;
+    if (metrics_.hits) metrics_.hits->inc();
     ++warm_by_fn_[fn];
     stats_.total_base_exec += p.warm_time;
+    sync_metrics();
     return out;
   }
 
@@ -191,6 +211,7 @@ KeepAliveCache::Outcome KeepAliveCache::on_invocation(FunctionId fn,
   if (!make_room(p.mem_mb)) {
     out.dropped = true;
     ++stats_.dropped;
+    if (metrics_.dropped) metrics_.dropped->inc();
     ++dropped_by_fn_[fn];
     return out;
   }
@@ -211,9 +232,11 @@ KeepAliveCache::Outcome KeepAliveCache::on_invocation(FunctionId fn,
   out.exec = p.warm_time + p.init_time;
   releases_.push(Release{t + out.exec, raw});
   ++stats_.cold_starts;
+  if (metrics_.misses) metrics_.misses->inc();
   ++cold_by_fn_[fn];
   stats_.total_base_exec += p.warm_time;
   stats_.total_init_paid += p.init_time;
+  sync_metrics();
   return out;
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "keepalive/policy.hpp"
+#include "obs/metrics.hpp"
 #include "trace/workload.hpp"
 
 /// The keep-alive container cache: warm containers are cache entries, a
@@ -66,6 +67,24 @@ class KeepAliveCache {
   KeepAliveCache(KeepAlivePolicy& policy, Config cfg,
                  std::vector<FunctionProfile> functions);
 
+  /// Optional live-metrics hooks (null pointers are skipped): warm starts
+  /// are cache hits, cold starts misses; used_mb tracks warm-state bytes.
+  struct Metrics {
+    Counter* hits = nullptr;
+    Counter* misses = nullptr;
+    Counter* dropped = nullptr;
+    Counter* evictions = nullptr;
+    Counter* expirations = nullptr;
+    Counter* prewarms = nullptr;
+    Gauge* used_mb = nullptr;
+    Gauge* idle = nullptr;
+    Gauge* busy = nullptr;
+  };
+  void set_metrics(const Metrics& m) {
+    metrics_ = m;
+    sync_metrics();
+  }
+
   /// Process all internal events (busy releases, expiry sweeps, prewarms)
   /// with deadline <= t, in time order.
   void advance_to(TimePoint t);
@@ -97,6 +116,7 @@ class KeepAliveCache {
     std::multimap<double, Node*>::iterator rank_it;
   };
 
+  void sync_metrics();
   void remove_from_idle(Node* n);
   void insert_into_idle(Node* n);
   void destroy(Node* n, bool expired);
@@ -135,6 +155,7 @@ class KeepAliveCache {
   std::unordered_map<FunctionId, TimePoint> prewarm_pending_;
 
   Stats stats_;
+  Metrics metrics_;
   std::vector<std::uint64_t> warm_by_fn_;
   std::vector<std::uint64_t> cold_by_fn_;
   std::vector<std::uint64_t> dropped_by_fn_;

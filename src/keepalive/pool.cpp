@@ -38,10 +38,30 @@ void ContainerPool::schedule_sweep() {
   });
 }
 
+void ContainerPool::sync_metrics() {
+  if (metrics_.total) {
+    metrics_.total->set(static_cast<std::int64_t>(containers_.size()));
+  }
+  if (metrics_.idle) {
+    metrics_.idle->set(static_cast<std::int64_t>(idle_rank_.size()));
+  }
+  if (metrics_.busy) {
+    metrics_.busy->set(
+        static_cast<std::int64_t>(containers_.size() - idle_rank_.size()));
+  }
+  if (metrics_.prewarmed) {
+    metrics_.prewarmed->set(static_cast<std::int64_t>(prewarmed_idle_));
+  }
+  if (metrics_.used_mb) {
+    metrics_.used_mb->set(static_cast<std::int64_t>(used_mb_));
+  }
+}
+
 void ContainerPool::insert_idle(Container* c) {
   assert(c->state == ContainerState::Idle);
   rank_pos_[c] = idle_rank_.emplace(policy_.eviction_rank(c->entry), c);
   idle_by_fn_[c->fn].push_back(c);
+  if (c->prewarm_parked) ++prewarmed_idle_;
 }
 
 void ContainerPool::remove_idle(Container* c) {
@@ -56,6 +76,7 @@ void ContainerPool::remove_idle(Container* c) {
       break;
     }
   }
+  if (c->prewarm_parked) --prewarmed_idle_;
 }
 
 std::unique_ptr<Container> ContainerPool::extract(Container* c) {
@@ -73,11 +94,14 @@ void ContainerPool::evict_one(Container* c, bool expired) {
   policy_.on_evict(c->entry);
   if (expired) {
     ++expirations_;
+    if (metrics_.expirations) metrics_.expirations->inc();
   } else {
     ++evictions_;
+    if (metrics_.evictions) metrics_.evictions->inc();
   }
   auto owned = extract(c);
   owned->state = ContainerState::Removed;
+  sync_metrics();
   if (on_evict_) on_evict_(std::move(owned));
 }
 
@@ -93,10 +117,12 @@ Container* ContainerPool::acquire(FunctionId fn, TimePoint now) {
   if (it == idle_by_fn_.end() || it->second.empty()) return nullptr;
   Container* c = it->second.back();
   remove_idle(c);
+  c->prewarm_parked = false;
   c->state = ContainerState::Running;
   ++c->entry.uses;
   c->entry.last_used = now;
   policy_.on_access(c->entry, now);
+  sync_metrics();
   return c;
 }
 
@@ -128,6 +154,7 @@ Container* ContainerPool::add_container(FunctionId fn,
   c->entry.uses = 0;
   used_mb_ += profile.mem_mb;
   containers_.emplace(c, std::move(owned));
+  sync_metrics();
   return c;
 }
 
@@ -137,20 +164,25 @@ void ContainerPool::return_container(Container* c, TimePoint now) {
   c->entry.last_used = now;
   policy_.on_access(c->entry, now);
   insert_idle(c);
+  sync_metrics();
 }
 
 void ContainerPool::park_prewarmed(Container* c, TimePoint now) {
   assert(c->state == ContainerState::Launching);
   c->state = ContainerState::Idle;
   c->entry.last_used = now;
+  c->prewarm_parked = true;
   policy_.on_access(c->entry, now);
   insert_idle(c);
+  if (metrics_.prewarm_parks) metrics_.prewarm_parks->inc();
+  sync_metrics();
 }
 
 void ContainerPool::remove(Container* c) {
   if (c->state == ContainerState::Idle) remove_idle(c);
   auto owned = extract(c);
   owned->state = ContainerState::Removed;
+  sync_metrics();
   // Not an eviction: creation failure or shutdown; no policy notification.
 }
 

@@ -8,6 +8,7 @@
 
 #include "containers/container.hpp"
 #include "keepalive/policy.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/runtime.hpp"
 
 /// The worker's keep-alive container pool (§4.3.1): tracks every in-use and
@@ -42,6 +43,23 @@ class ContainerPool {
 
   void set_prewarm_requester(PrewarmRequestFn fn) {
     on_prewarm_request_ = std::move(fn);
+  }
+
+  /// Optional live-metrics hooks (null pointers are skipped). `busy` is
+  /// containers not currently idle (running or being provisioned).
+  struct Metrics {
+    Counter* evictions = nullptr;
+    Counter* expirations = nullptr;
+    Counter* prewarm_parks = nullptr;
+    Gauge* total = nullptr;
+    Gauge* idle = nullptr;
+    Gauge* busy = nullptr;
+    Gauge* prewarmed = nullptr;
+    Gauge* used_mb = nullptr;
+  };
+  void set_metrics(const Metrics& m) {
+    metrics_ = m;
+    sync_metrics();
   }
   ~ContainerPool();
 
@@ -94,6 +112,7 @@ class ContainerPool {
  private:
   void insert_idle(Container* c);
   void remove_idle(Container* c);
+  void sync_metrics();
   std::unique_ptr<Container> extract(Container* c);
   void evict_one(Container* c, bool expired);
   bool make_room(std::uint32_t mem_mb);
@@ -104,6 +123,9 @@ class ContainerPool {
   Config cfg_;
   EvictFn on_evict_;
   PrewarmRequestFn on_prewarm_request_;
+  Metrics metrics_;
+  /// Idle containers still carrying their prewarm flag.
+  std::size_t prewarmed_idle_ = 0;
 
   std::uint64_t capacity_mb_;
   std::uint64_t used_mb_ = 0;

@@ -15,7 +15,10 @@ Cluster::Cluster(Runtime& rt, ClusterConfig cfg)
     wc.name = "worker" + std::to_string(i);
     wc.seed = cfg_.worker.seed + i * 7919;
     workers_.push_back(std::make_unique<Worker>(rt_, wc));
+    dispatch_counters_.push_back(
+        metrics_.counter("lb.dispatch." + wc.name));
   }
+  forwarded_counter_ = metrics_.counter("lb.forwarded");
 }
 
 void Cluster::start() {
@@ -60,7 +63,10 @@ std::size_t Cluster::route(FunctionId fn) {
         loads[i] = static_cast<double>(s.queue_len + s.running);
       }
       std::size_t w = chbl_.pick(fn_keys_.at(fn), loads);
-      if (chbl_.last_hops() > 0) ++forwarded_;
+      if (chbl_.last_hops() > 0) {
+        ++forwarded_;
+        forwarded_counter_->inc();
+      }
       return w;
     }
   }
@@ -70,6 +76,7 @@ std::size_t Cluster::route(FunctionId fn) {
 void Cluster::invoke(FunctionId fn, Worker::InvokeCb cb) {
   std::size_t w = route(fn);
   ++routed_[w];
+  dispatch_counters_[w]->inc();
   // Model the LB -> worker RPC hop both ways.
   Duration out_hop = cfg_.rpc.sample(rng_);
   rt_.schedule(out_hop, [this, w, fn, cb = std::move(cb)]() mutable {

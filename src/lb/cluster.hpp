@@ -6,6 +6,7 @@
 
 #include "core/worker.hpp"
 #include "lb/chbl.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/latency.hpp"
 
 /// A cluster of Ilúvatar workers behind a stateless load balancer (§4.1).
@@ -47,6 +48,13 @@ class Cluster {
   /// Invocations that were not routed to their CH-BL home worker.
   std::uint64_t forwarded() const { return forwarded_; }
 
+  /// Load-balancer metrics: per-worker dispatch counters
+  /// ("lb.dispatch.<worker>") and the CH-BL forwarding counter
+  /// ("lb.forwarded"). Per-worker control-plane metrics live in each
+  /// worker's own registry (worker(i).metrics()).
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
  private:
   std::size_t route(FunctionId fn);
 
@@ -59,6 +67,9 @@ class Cluster {
   std::size_t rr_next_ = 0;
   std::vector<std::uint64_t> routed_;
   std::uint64_t forwarded_ = 0;
+  MetricsRegistry metrics_;
+  std::vector<Counter*> dispatch_counters_;
+  Counter* forwarded_counter_ = nullptr;
 };
 
 }  // namespace ilu

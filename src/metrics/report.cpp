@@ -1,6 +1,8 @@
 #include "metrics/report.hpp"
 
 #include <cstdio>
+#include <fstream>
+#include <stdexcept>
 
 #include "util/csv.hpp"
 
@@ -100,6 +102,41 @@ void ExperimentReport::write_csv(const std::string& path) const {
   };
   for (const auto* fr : functions()) emit(*fr);
   emit(global_);
+}
+
+namespace {
+JsonValue function_report_json(const FunctionReport& fr) {
+  JsonObject o;
+  o["name"] = fr.name;
+  o["invocations"] = fr.invocations;
+  o["warm"] = fr.warm;
+  o["cold"] = fr.cold;
+  o["dropped"] = fr.dropped;
+  o["failed"] = fr.failed;
+  o["warm_ratio"] = fr.warm_ratio();
+  o["flow_p50_ms"] = fr.flow_ms.p50();
+  o["flow_p99_ms"] = fr.flow_ms.p99();
+  o["overhead_p50_ms"] = fr.overhead_ms.p50();
+  o["overhead_p99_ms"] = fr.overhead_ms.p99();
+  o["exec_p50_ms"] = fr.exec_ms.p50();
+  o["mean_stretch"] = fr.mean_stretch();
+  return JsonValue(std::move(o));
+}
+}  // namespace
+
+JsonValue ExperimentReport::to_json() const {
+  JsonArray fns;
+  for (const auto* fr : functions()) fns.push_back(function_report_json(*fr));
+  JsonObject root;
+  root["functions"] = JsonValue(std::move(fns));
+  root["total"] = function_report_json(global_);
+  return JsonValue(std::move(root));
+}
+
+void ExperimentReport::write_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  out << to_json().dump(2) << "\n";
 }
 
 }  // namespace ilu

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "util/json.hpp"
 #include "util/stats.hpp"
 
 /// Experiment reporting: aggregate InvokeResults into per-function and
@@ -55,6 +56,11 @@ class ExperimentReport {
 
   /// CSV rows: one per function plus a TOTAL row.
   void write_csv(const std::string& path) const;
+
+  /// Structured form: {"functions": [...], "total": {...}} with the same
+  /// columns as the CSV, for machine consumption alongside metric snapshots.
+  JsonValue to_json() const;
+  void write_json(const std::string& path) const;
 
  private:
   FunctionReport& row(FunctionId fn);

@@ -1,0 +1,92 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+
+namespace ilu {
+
+Histogram::Histogram(double bucket_width, std::size_t num_buckets)
+    : width_(bucket_width > 0.0 ? bucket_width : 1.0),
+      buckets_(num_buckets > 0 ? num_buckets : 1) {}
+
+void Histogram::observe(double x) {
+  std::size_t i = 0;
+  if (x > 0.0) {
+    double b = std::floor(x / width_);
+    i = b >= static_cast<double>(buckets_.size() - 1)
+            ? buckets_.size() - 1
+            : static_cast<std::size_t>(b);
+  }
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_micro_.fetch_add(static_cast<std::int64_t>(x * 1e6),
+                       std::memory_order_relaxed);
+}
+
+double Histogram::sum() const {
+  return static_cast<double>(sum_micro_.load(std::memory_order_relaxed)) /
+         1e6;
+}
+
+double Histogram::mean() const {
+  std::uint64_t n = count();
+  return n ? sum() / static_cast<double>(n) : 0.0;
+}
+
+double Histogram::quantile_upper_bound(double q) const {
+  std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(n)));
+  if (target == 0) target = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += bucket(i);
+    if (seen >= target) return width_ * static_cast<double>(i + 1);
+  }
+  return width_ * static_cast<double>(buckets_.size());
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name,
+                                      double bucket_width,
+                                      std::size_t num_buckets) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(bucket_width, num_buckets);
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot s;
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [name, c] : counters_) s.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) s.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramData d;
+    d.bucket_width = h->bucket_width();
+    d.buckets.reserve(h->num_buckets());
+    for (std::size_t i = 0; i < h->num_buckets(); ++i) {
+      d.buckets.push_back(h->bucket(i));
+    }
+    d.count = h->count();
+    d.sum = h->sum();
+    d.mean = h->mean();
+    s.histograms[name] = std::move(d);
+  }
+  return s;
+}
+
+}  // namespace ilu

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+/// Live metrics: thread-safe counters, gauges, and fixed-bucket histograms
+/// with cheap relaxed-atomic updates, collected in a name-keyed registry.
+///
+/// Registration (looking an instrument up by name) takes a mutex and is a
+/// cold-path operation — components resolve their instruments once at wiring
+/// time and hold the returned pointers, which stay valid for the registry's
+/// lifetime. Updates through those pointers are single atomic RMW ops, so
+/// the invoke hot path never locks. snapshot() reads every instrument with
+/// relaxed loads: values are individually coherent, not a consistent cut
+/// (fine for status lines and end-of-run dumps).
+namespace ilu {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t d = 1) { v_.fetch_add(d, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Instantaneous signed level (queue depth, containers idle, MB in use).
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  void sub(std::int64_t d) { v_.fetch_sub(d, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed-width bucketed histogram over [0, width * buckets); values past the
+/// end land in the final (overflow) bucket, negatives in the first. Each
+/// observation is two relaxed atomic adds (bucket + sum) — no lock, no
+/// allocation.
+class Histogram {
+ public:
+  Histogram(double bucket_width, std::size_t num_buckets);
+
+  void observe(double x);
+
+  double bucket_width() const { return width_; }
+  std::size_t num_buckets() const { return buckets_.size(); }
+  std::uint64_t bucket(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const;
+  double mean() const;
+  /// Upper edge of the bucket containing quantile q (q in (0, 1]); 0 when
+  /// empty. The overflow bucket reports the histogram's upper bound.
+  double quantile_upper_bound(double q) const;
+
+ private:
+  double width_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  /// Sum in fixed-point (micro-units) so it can be a relaxed integer add.
+  std::atomic<std::int64_t> sum_micro_{0};
+};
+
+/// Point-in-time copy of every instrument in a registry.
+struct MetricsSnapshot {
+  struct HistogramData {
+    double bucket_width = 0.0;
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double mean = 0.0;
+  };
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramData> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create by name. Returned pointers remain valid until the
+  /// registry is destroyed. histogram() with a name that already exists
+  /// returns the existing instrument (its geometry wins).
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name, double bucket_width,
+                       std::size_t num_buckets);
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace ilu

@@ -1,0 +1,142 @@
+#include "obs/tracer.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace ilu {
+
+namespace {
+std::atomic<std::uint64_t> g_tracer_uid{0};
+
+/// Per-thread stack of open ScopedSpans (shared across tracers: nesting is a
+/// property of the thread's call stack, not of any one tracer).
+thread_local std::vector<SpanId> t_span_stack;
+}  // namespace
+
+TransactionTracer::TransactionTracer(bool enabled,
+                                     std::size_t max_records_per_shard)
+    : uid_(g_tracer_uid.fetch_add(1, std::memory_order_relaxed) + 1),
+      shard_cap_(max_records_per_shard),
+      enabled_(enabled) {}
+
+TransactionTracer::~TransactionTracer() = default;
+
+TransactionTracer::Shard& TransactionTracer::local_shard() {
+  // Cache shard pointers per (thread, tracer uid). Entries for destroyed
+  // tracers are never looked up again (uids are unique), so stale pointers
+  // are harmless; they cost a few bytes per tracer a thread ever touched.
+  thread_local std::unordered_map<std::uint64_t, Shard*> t_shards;
+  auto it = t_shards.find(uid_);
+  if (it != t_shards.end()) return *it->second;
+  std::lock_guard<std::mutex> lk(shards_mu_);
+  auto shard = std::make_unique<Shard>();
+  shard->index = static_cast<std::uint32_t>(shards_.size());
+  Shard* raw = shard.get();
+  shards_.push_back(std::move(shard));
+  t_shards.emplace(uid_, raw);
+  return *raw;
+}
+
+SpanId TransactionTracer::record(TransactionId tx, std::string_view name,
+                                 TimePoint start, Duration dur,
+                                 SpanId parent) {
+  if (!enabled()) return kNoSpan;
+  SpanId id = next_span_id();
+  record_with_id(id, tx, name, start, dur, parent);
+  return id;
+}
+
+void TransactionTracer::record_with_id(SpanId id, TransactionId tx,
+                                       std::string_view name, TimePoint start,
+                                       Duration dur, SpanId parent) {
+  if (!enabled()) return;
+  Shard& s = local_shard();
+  std::lock_guard<SpinLock> lk(s.lock);
+  s.agg[std::string(name)].add_ms(dur);
+  if (s.records.size() >= shard_cap_) {
+    ++s.dropped;
+    return;
+  }
+  SpanRecord r;
+  r.tx = tx;
+  r.id = id;
+  r.parent = parent;
+  r.name = std::string(name);
+  r.start = start;
+  r.dur = dur;
+  r.thread = s.index;
+  s.records.push_back(std::move(r));
+}
+
+void TransactionTracer::record_aggregate(std::string_view name, Duration dur) {
+  if (!enabled()) return;
+  Shard& s = local_shard();
+  std::lock_guard<SpinLock> lk(s.lock);
+  s.agg[std::string(name)].add_ms(dur);
+}
+
+std::vector<SpanRecord> TransactionTracer::collect() const {
+  std::vector<SpanRecord> out;
+  {
+    std::lock_guard<std::mutex> lk(shards_mu_);
+    for (const auto& s : shards_) {
+      std::lock_guard<SpinLock> sl(s->lock);
+      out.insert(out.end(), s->records.begin(), s->records.end());
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const SpanRecord& a,
+                                       const SpanRecord& b) {
+    if (a.start != b.start) return a.start < b.start;
+    return a.id < b.id;
+  });
+  return out;
+}
+
+std::map<std::string, Summary> TransactionTracer::aggregate() const {
+  std::map<std::string, Summary> out;
+  std::lock_guard<std::mutex> lk(shards_mu_);
+  for (const auto& s : shards_) {
+    std::lock_guard<SpinLock> sl(s->lock);
+    for (const auto& [name, summary] : s->agg) out[name].merge(summary);
+  }
+  return out;
+}
+
+std::uint64_t TransactionTracer::dropped_records() const {
+  std::uint64_t n = 0;
+  std::lock_guard<std::mutex> lk(shards_mu_);
+  for (const auto& s : shards_) {
+    std::lock_guard<SpinLock> sl(s->lock);
+    n += s->dropped;
+  }
+  return n;
+}
+
+void TransactionTracer::clear() {
+  std::lock_guard<std::mutex> lk(shards_mu_);
+  for (const auto& s : shards_) {
+    std::lock_guard<SpinLock> sl(s->lock);
+    s->records.clear();
+    s->agg.clear();
+    s->dropped = 0;
+  }
+}
+
+ScopedSpan::ScopedSpan(TransactionTracer& tracer, Runtime& rt,
+                       TransactionId tx, const char* name)
+    : tracer_(tracer), rt_(rt), tx_(tx), name_(name) {
+  if (!tracer_.enabled()) return;
+  id_ = tracer_.next_span_id();
+  parent_ = t_span_stack.empty() ? kNoSpan : t_span_stack.back();
+  t_span_stack.push_back(id_);
+  start_ = rt_.now();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (id_ == kNoSpan) return;
+  t_span_stack.pop_back();
+  tracer_.record_with_id(id_, tx_, name_, start_, rt_.now() - start_,
+                         parent_);
+}
+
+}  // namespace ilu

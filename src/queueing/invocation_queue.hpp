@@ -5,6 +5,7 @@
 #include <optional>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "queueing/queue_policy.hpp"
 
 /// The per-worker invocation queue (§5): a priority queue sorted by the
@@ -24,6 +25,9 @@ class InvocationQueue {
     item.seq = next_seq_++;
     double pri = policy_.priority(item, chars_, warm_available);
     items_.emplace(std::make_pair(pri, item.seq), std::move(item));
+    if (depth_gauge_) {
+      depth_gauge_->set(static_cast<std::int64_t>(items_.size()));
+    }
   }
 
   /// Dispatch the lowest-priority item.
@@ -32,6 +36,9 @@ class InvocationQueue {
     auto it = items_.begin();
     QueueItem item = std::move(it->second);
     items_.erase(it);
+    if (depth_gauge_) {
+      depth_gauge_->set(static_cast<std::int64_t>(items_.size()));
+    }
     return item;
   }
 
@@ -44,9 +51,18 @@ class InvocationQueue {
   std::size_t size() const { return items_.size(); }
   bool empty() const { return items_.empty(); }
 
+  /// Mirror the queue depth into a live gauge (nullptr disables).
+  void set_depth_gauge(Gauge* g) {
+    depth_gauge_ = g;
+    if (depth_gauge_) {
+      depth_gauge_->set(static_cast<std::int64_t>(items_.size()));
+    }
+  }
+
  private:
   const QueuePolicy& policy_;
   const CharacteristicsMap& chars_;
+  Gauge* depth_gauge_ = nullptr;
   std::uint64_t next_seq_ = 0;
   std::map<std::pair<double, std::uint64_t>, QueueItem> items_;
 };

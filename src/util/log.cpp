@@ -9,6 +9,8 @@ namespace ilu {
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::Warn};
 std::mutex g_out_mutex;
+/// Overriding sink; nullptr means stderr. Guarded by g_out_mutex.
+std::ostream* g_sink = nullptr;
 
 const char* level_name(LogLevel l) {
   switch (l) {
@@ -27,10 +29,19 @@ void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_rela
 
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
+void set_log_sink(std::ostream* sink) {
+  std::lock_guard<std::mutex> lock(g_out_mutex);
+  g_sink = sink;
+}
+
 void log_message(LogLevel level, const std::string& msg) {
   if (level < log_level()) return;
   std::lock_guard<std::mutex> lock(g_out_mutex);
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+  if (g_sink != nullptr) {
+    (*g_sink) << "[" << level_name(level) << "] " << msg << "\n";
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+  }
 }
 
 }  // namespace ilu

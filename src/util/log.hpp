@@ -1,19 +1,28 @@
 #pragma once
 
+#include <ostream>
 #include <sstream>
 #include <string>
 
 /// Tiny leveled logger. The control plane keeps logging off the critical
 /// path by default (level Warn); benches/tests can raise verbosity.
 /// A single global level keeps the hot-path check to one branch.
+///
+/// Thread-safe: the level is atomic and the sink is written under a mutex,
+/// so concurrent log_message calls from worker threads never interleave
+/// bytes or race on the stream.
 namespace ilu {
 
 enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
 
-/// Set/get the global log level. Not synchronized: set it before spawning
-/// threads (matches how benches and tests use it).
+/// Set/get the global log level (atomic; safe from any thread).
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Redirect log output to `sink` (tests capture deterministically through an
+/// ostringstream); nullptr restores the default stderr sink. The sink must
+/// outlive all logging, and swapping it synchronizes with in-flight writes.
+void set_log_sink(std::ostream* sink);
 
 /// Emit a message at `level` (no-op if below the global level).
 void log_message(LogLevel level, const std::string& msg);
