@@ -65,7 +65,8 @@ Out run(const std::string& policy, Duration bypass) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  unsigned threads = ilu::exp::threads_from_args(argc, argv);
   banner("Ablation — queue disciplines x bypass under saturation");
   std::printf("%-8s %-8s | %9s %9s | %9s %9s | %9s %9s\n", "policy",
               "bypass", "short p50", "short p99", "long p50", "long p99",
@@ -73,17 +74,35 @@ int main() {
   CsvWriter csv(results_dir() + "/ablation_queue_policies.csv");
   csv.row("policy", "bypass_ms", "short_p50_ms", "short_p99_ms",
           "long_p50_ms", "long_p99_ms", "mean_stretch", "max_stretch");
+
+  // Each (policy, bypass) cell is a self-contained worker simulation;
+  // fan the grid out and report in submission order.
+  struct Cell {
+    const char* policy;
+    ilu::Duration bypass;
+  };
+  std::vector<Cell> cells;
   for (const char* policy : {"FCFS", "SJF", "EEDF", "RARE"}) {
-    for (Duration bypass : {Duration::zero(), msecs(200)}) {
-      auto o = run(policy, bypass);
-      std::printf("%-8s %-8s | %9.0f %9.0f | %9.0f %9.0f | %9.2f %9.1f\n",
-                  policy, bypass > Duration::zero() ? "on" : "off",
-                  o.short_flow.p50(), o.short_flow.p99(), o.long_flow.p50(),
-                  o.long_flow.p99(), o.mean_stretch, o.max_stretch);
-      csv.row(policy, to_ms(bypass), o.short_flow.p50(), o.short_flow.p99(),
-              o.long_flow.p50(), o.long_flow.p99(), o.mean_stretch,
-              o.max_stretch);
+    for (ilu::Duration bypass : {ilu::Duration::zero(), ilu::msecs(200)}) {
+      cells.push_back({policy, bypass});
     }
+  }
+  std::vector<std::function<Out()>> tasks;
+  for (const auto& c : cells) {
+    tasks.emplace_back([c] { return run(c.policy, c.bypass); });
+  }
+  auto results = ilu::exp::SweepRunner({.threads = threads}).run(tasks);
+
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto& c = cells[i];
+    const auto& o = results[i];
+    std::printf("%-8s %-8s | %9.0f %9.0f | %9.0f %9.0f | %9.2f %9.1f\n",
+                c.policy, c.bypass > ilu::Duration::zero() ? "on" : "off",
+                o.short_flow.p50(), o.short_flow.p99(), o.long_flow.p50(),
+                o.long_flow.p99(), o.mean_stretch, o.max_stretch);
+    csv.row(c.policy, to_ms(c.bypass), o.short_flow.p50(),
+            o.short_flow.p99(), o.long_flow.p50(), o.long_flow.p99(),
+            o.mean_stretch, o.max_stretch);
   }
   std::printf(
       "\nExpected shape: SJF gives shorts the best waits but the worst\n"

@@ -64,39 +64,51 @@ Out run(RegulatorConfig reg) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  unsigned threads = ilu::exp::threads_from_args(argc, argv);
   banner("Ablation — concurrency regulator: fixed limits vs AIMD");
   std::printf("%-22s %10s %12s %10s %10s\n", "mode", "completed",
               "p99 flow ms", "mean str", "limit@end");
   CsvWriter csv(results_dir() + "/ablation_regulator.csv");
   csv.row("mode", "completed", "p99_flow_ms", "mean_stretch", "final_limit");
 
+  // Build the mode list (fixed limits + both AIMD signals), fan the
+  // independent simulations out, report in submission order.
+  struct Mode {
+    std::string print_name;
+    std::string csv_name;
+    RegulatorConfig reg;
+  };
+  std::vector<Mode> modes;
   for (double limit : {8.0, 16.0, 32.0, 64.0, 128.0}) {
-    RegulatorConfig reg{.limit = limit};
-    auto o = run(reg);
     std::string name = "fixed:" + std::to_string(static_cast<int>(limit));
-    std::printf("%-22s %10zu %12.0f %10.2f %10.0f\n", name.c_str(),
-                o.completed, o.p99_flow_ms, o.mean_stretch, o.final_limit);
-    csv.row(name, o.completed, o.p99_flow_ms, o.mean_stretch, o.final_limit);
+    modes.push_back({name, name, RegulatorConfig{.limit = limit}});
   }
   {
     RegulatorConfig reg{.limit = 16.0, .dynamic = true};
     reg.interval = secs(1);
-    auto o = run(reg);
-    std::printf("%-22s %10zu %12.0f %10.2f %10.0f\n", "aimd:load",
-                o.completed, o.p99_flow_ms, o.mean_stretch, o.final_limit);
-    csv.row("aimd_load", o.completed, o.p99_flow_ms, o.mean_stretch,
-            o.final_limit);
+    modes.push_back({"aimd:load", "aimd_load", reg});
   }
   {
     RegulatorConfig reg{.limit = 16.0, .dynamic = true};
     reg.signal = CongestionSignal::Stretch;
     reg.stretch_threshold = 2.5;
     reg.interval = secs(1);
-    auto o = run(reg);
-    std::printf("%-22s %10zu %12.0f %10.2f %10.0f\n", "aimd:stretch",
-                o.completed, o.p99_flow_ms, o.mean_stretch, o.final_limit);
-    csv.row("aimd_stretch", o.completed, o.p99_flow_ms, o.mean_stretch,
+    modes.push_back({"aimd:stretch", "aimd_stretch", reg});
+  }
+
+  std::vector<std::function<Out()>> tasks;
+  for (const auto& m : modes) {
+    tasks.emplace_back([reg = m.reg] { return run(reg); });
+  }
+  auto results = ilu::exp::SweepRunner({.threads = threads}).run(tasks);
+
+  for (std::size_t i = 0; i < modes.size(); ++i) {
+    const auto& o = results[i];
+    std::printf("%-22s %10zu %12.0f %10.2f %10.0f\n",
+                modes[i].print_name.c_str(), o.completed, o.p99_flow_ms,
+                o.mean_stretch, o.final_limit);
+    csv.row(modes[i].csv_name, o.completed, o.p99_flow_ms, o.mean_stretch,
             o.final_limit);
   }
   std::printf(

@@ -2,12 +2,17 @@
 // sweep as Fig 4. The paper notes miss-ratio curves can *disagree* with the
 // actual cold-start cost ordering because classic miss ratios ignore the
 // per-function miss cost that Greedy-Dual optimizes.
+//
+// Parallelized over the grid like fig4 (`--threads N`); output order is
+// submission order, independent of thread count.
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ilu;
   using namespace ilu::bench;
+
+  unsigned threads = exp::threads_from_args(argc, argv);
 
   // Natural-rate, day-long traces (same reasoning as fig4).
   AzureModelConfig mcfg;
@@ -29,9 +34,27 @@ int main() {
                                              "LND", "FREQ", "HIST"};
 
   banner("Fig 5 — cold-start fraction (cache miss ratio)");
+
+  std::vector<std::function<KeepAliveSimResult()>> tasks;
+  for (auto& tc : cases) {
+    for (const auto& pol : policies) {
+      for (auto gb : cache_gb) {
+        const Trace& trace = tc.trace;
+        tasks.emplace_back([&trace, &pol, gb] {
+          return run_keepalive_sim(trace, pol, gb * 1024);
+        });
+      }
+    }
+  }
+  exp::SweepRunner runner({.threads = threads});
+  std::printf("(sweep: %zu cells on %u threads)\n", tasks.size(),
+              runner.threads());
+  auto results = runner.run(tasks);
+
   CsvWriter csv(results_dir() + "/fig5_cold_fraction.csv");
   csv.row("trace", "policy", "cache_gb", "cold_fraction");
 
+  std::size_t idx = 0;
   for (auto& tc : cases) {
     std::printf("\n[%s]\n%-6s", tc.name, "GB:");
     for (auto gb : cache_gb) std::printf("%9llu", (unsigned long long)gb);
@@ -39,7 +62,7 @@ int main() {
     for (const auto& pol : policies) {
       std::printf("%-6s", pol.c_str());
       for (auto gb : cache_gb) {
-        auto r = run_keepalive_sim(tc.trace, pol, gb * 1024);
+        const auto& r = results[idx++];
         std::printf("%9.4f", r.cold_fraction());
         csv.row(tc.name, pol, gb, r.cold_fraction());
       }

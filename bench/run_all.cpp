@@ -1,0 +1,316 @@
+// Perf-trajectory harness: measures the engine micro-operations and the
+// fig4 keep-alive sweep wall-time at 1 and N threads, and appends a
+// schema-stable run record to BENCH_core.json (at the repo root when run
+// from there) so successive PRs accumulate a before/after trajectory
+// instead of claiming speedups in prose.
+//
+//   ./build/bench/run_all [--label STR] [--out PATH] [--threads N] [--smoke]
+//
+// --smoke shrinks every input to seconds-scale (wired into ctest under the
+// `perf` label as the bench_smoke target); the full run is minutes-scale.
+//
+// Schema (ilu-bench-core-v1): {"schema", "runs": [{label, utc, host_threads,
+// smoke, engine:{events_per_sec, schedule_run_events_per_sec,
+// schedule_cancel_ops_per_sec, queue_push_pop_ops_per_sec,
+// pool_acquire_return_ops_per_sec}, fig4_sweep:{cells, threads,
+// wall_s_1thread, wall_s_nthreads, speedup}}]}. Fields are only ever added,
+// never renamed, so downstream tooling can diff runs across PRs.
+
+#include <array>
+#include <chrono>
+#include <cstring>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "bench_util.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace ilu;
+using namespace ilu::bench;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Best-of-`reps` throughput for `body`, which performs `ops` operations.
+template <typename F>
+double best_ops_per_sec(std::uint64_t ops, int reps, F&& body) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    auto t0 = Clock::now();
+    body();
+    double s = seconds_since(t0);
+    if (s > 0.0) best = std::max(best, static_cast<double>(ops) / s);
+  }
+  return best;
+}
+
+/// The worker's realistic schedule/cancel/fire mix: ~40 B captures and a
+/// quarter of timers cancelled before firing (mirrors
+/// micro_ops::BM_SimRuntimeChurnRealistic).
+double engine_events_per_sec(int rounds) {
+  std::uint64_t sum = 0;
+  return best_ops_per_sec(
+      static_cast<std::uint64_t>(rounds) * 1000, 3, [&] {
+        for (int round = 0; round < rounds; ++round) {
+          SimRuntime rt;
+          for (int i = 0; i < 1000; ++i) {
+            std::array<std::uint64_t, 4> payload{
+                1, 2, 3, static_cast<std::uint64_t>(i)};
+            auto id = rt.schedule(usecs((i * 37) % 500),
+                                  [payload, &sum] { sum += payload[3]; });
+            if (i % 4 == 0) rt.cancel(id);
+          }
+          rt.run();
+        }
+      });
+}
+
+/// Plain schedule+run cycle with tiny captures (the old engine's best case).
+double engine_schedule_run_events_per_sec(int rounds) {
+  std::uint64_t sum = 0;
+  return best_ops_per_sec(
+      static_cast<std::uint64_t>(rounds) * 1000, 3, [&] {
+        for (int round = 0; round < rounds; ++round) {
+          SimRuntime rt;
+          for (int i = 0; i < 1000; ++i) {
+            rt.schedule(usecs((i * 37) % 500), [&sum] { ++sum; });
+          }
+          rt.run();
+        }
+      });
+}
+
+/// Arm/disarm throughput: schedule 512 timers, cancel all, drain.
+double engine_schedule_cancel_ops_per_sec(int rounds) {
+  return best_ops_per_sec(
+      static_cast<std::uint64_t>(rounds) * 512 * 2, 3, [&] {
+        SimRuntime rt;
+        std::vector<Runtime::TimerId> ids(512);
+        for (int round = 0; round < rounds; ++round) {
+          for (int i = 0; i < 512; ++i) {
+            ids[i] = rt.schedule(usecs(1000 + (i * 31) % 512), [] {});
+          }
+          for (int i = 0; i < 512; ++i) rt.cancel(ids[i]);
+          rt.run();
+        }
+      });
+}
+
+/// InvocationQueue push/pop under the default EEDF discipline.
+double queue_push_pop_ops_per_sec(int rounds) {
+  auto policy = make_queue_policy("EEDF");
+  CharacteristicsMap chars;
+  chars.record_warm(0, msecs(100));
+  chars.record_cold(0, secs(1));
+  InvocationQueue q(*policy, chars);
+  std::uint64_t t = 0;
+  return best_ops_per_sec(
+      static_cast<std::uint64_t>(rounds) * 64, 3, [&] {
+        for (int round = 0; round < rounds; ++round) {
+          for (int i = 0; i < 64; ++i) {
+            QueueItem item;
+            item.fn = 0;
+            item.arrival = usecs(t++);
+            q.push(std::move(item), i % 2 == 0);
+          }
+          while (auto it = q.pop()) {
+            (void)it;
+          }
+        }
+      });
+}
+
+/// Warm-path container pool acquire/return cycle.
+double pool_acquire_return_ops_per_sec(int rounds) {
+  SimRuntime rt;
+  LruPolicy policy;
+  ContainerPool pool(rt, policy,
+                     ContainerPool::Config{.capacity_mb = 64 * 1024,
+                                           .sweep_interval = Duration::zero()},
+                     nullptr);
+  auto profile = lookbusy(msecs(100), 128, msecs(500));
+  for (int i = 0; i < 32; ++i) {
+    auto* c = pool.add_container(0, profile, rt.now());
+    c->state = ContainerState::Launching;
+    c->state = ContainerState::Running;
+    pool.return_container(c, rt.now());
+  }
+  std::uint64_t t = 0;
+  return best_ops_per_sec(static_cast<std::uint64_t>(rounds), 3, [&] {
+    for (int round = 0; round < rounds; ++round) {
+      Container* c = pool.acquire(0, usecs(t));
+      pool.return_container(c, usecs(t + 1));
+      t += 2;
+    }
+  });
+}
+
+struct SweepTiming {
+  std::size_t cells = 0;
+  unsigned threads = 1;
+  double wall_s_1thread = 0.0;
+  double wall_s_nthreads = 0.0;
+  double speedup = 0.0;
+};
+
+/// Scaled-down fig4 grid: (trace x policy x cache-size) keep-alive sims,
+/// timed sequentially and with the parallel sweep engine. The cells are the
+/// same simulations fig4_exec_increase runs, on smaller traces so the full
+/// harness stays minutes-scale (seconds-scale under --smoke).
+SweepTiming fig4_sweep_timing(unsigned threads, bool smoke) {
+  AzureModelConfig mcfg;
+  mcfg.population = smoke ? 2000 : 20000;
+  mcfg.days = smoke ? 1.0 / 24.0 : 0.25;
+  AzureTraceModel model(mcfg);
+
+  std::vector<Trace> traces;
+  traces.push_back(model.sample_representative(smoke ? 50 : 200));
+  if (!smoke) {
+    traces.push_back(model.sample_rare(500));
+    traces.push_back(model.sample_random(100));
+  }
+  const std::vector<std::uint64_t> cache_gb =
+      smoke ? std::vector<std::uint64_t>{10, 30, 60}
+            : std::vector<std::uint64_t>{10, 15, 20, 30, 40, 50, 60, 80};
+  const std::vector<std::string> policies =
+      smoke ? std::vector<std::string>{"TTL", "GD", "LRU"}
+            : std::vector<std::string>{"TTL", "GD", "LRU",
+                                       "LND", "FREQ", "HIST"};
+
+  std::vector<std::function<KeepAliveSimResult()>> tasks;
+  for (const auto& trace : traces) {
+    for (const auto& pol : policies) {
+      for (auto gb : cache_gb) {
+        tasks.emplace_back([&trace, &pol, gb] {
+          return run_keepalive_sim(trace, pol, gb * 1024);
+        });
+      }
+    }
+  }
+
+  SweepTiming out;
+  out.cells = tasks.size();
+  out.threads = exp::SweepRunner({.threads = threads}).threads();
+
+  auto fingerprint = [](const std::vector<KeepAliveSimResult>& rs) {
+    double acc = 0.0;
+    for (const auto& r : rs) acc += r.cold_fraction() + r.exec_increase_pct();
+    return acc;
+  };
+
+  auto t0 = Clock::now();
+  auto seq = exp::SweepRunner({.threads = 1}).run(tasks);
+  out.wall_s_1thread = seconds_since(t0);
+
+  t0 = Clock::now();
+  auto par = exp::SweepRunner({.threads = threads}).run(tasks);
+  out.wall_s_nthreads = seconds_since(t0);
+
+  if (fingerprint(seq) != fingerprint(par)) {
+    std::fprintf(stderr,
+                 "FATAL: parallel sweep diverged from sequential results\n");
+    std::exit(1);
+  }
+  out.speedup =
+      out.wall_s_nthreads > 0.0 ? out.wall_s_1thread / out.wall_s_nthreads : 0.0;
+  return out;
+}
+
+std::string utc_now_string() {
+  std::time_t t = std::time(nullptr);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", std::gmtime(&t));
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string label = "run";
+  std::string out_path = "BENCH_core.json";
+  bool smoke = false;
+  unsigned threads = exp::threads_from_args(argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--label") == 0 && i + 1 < argc) {
+      label = argv[++i];
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    }
+  }
+
+  banner("run_all — engine micro-ops + fig4 sweep wall-time");
+  const int rounds = smoke ? 200 : 2000;
+
+  double ev = engine_events_per_sec(rounds);
+  std::printf("%-36s %12.0f /s\n", "events (realistic churn)", ev);
+  double ev_plain = engine_schedule_run_events_per_sec(rounds);
+  std::printf("%-36s %12.0f /s\n", "events (plain schedule+run)", ev_plain);
+  double sc = engine_schedule_cancel_ops_per_sec(rounds);
+  std::printf("%-36s %12.0f /s\n", "schedule+cancel ops", sc);
+  double qp = queue_push_pop_ops_per_sec(rounds * 10);
+  std::printf("%-36s %12.0f /s\n", "queue push+pop ops", qp);
+  double pa = pool_acquire_return_ops_per_sec(rounds * 100);
+  std::printf("%-36s %12.0f /s\n", "pool acquire+return ops", pa);
+
+  auto sweep = fig4_sweep_timing(threads, smoke);
+  std::printf("%-36s %12zu\n", "fig4 sweep cells", sweep.cells);
+  std::printf("%-36s %12.2f s\n", "fig4 sweep wall (1 thread)",
+              sweep.wall_s_1thread);
+  std::printf("fig4 sweep wall (%u threads)%*s %9.2f s\n", sweep.threads,
+              static_cast<int>(36 - 26 -
+                               std::to_string(sweep.threads).size()),
+              "", sweep.wall_s_nthreads);
+  std::printf("%-36s %12.2fx\n", "fig4 sweep speedup", sweep.speedup);
+
+  // Append this run to the trajectory file (create if absent).
+  JsonObject run;
+  run["label"] = label;
+  run["utc"] = utc_now_string();
+  run["host_threads"] =
+      static_cast<std::int64_t>(std::thread::hardware_concurrency());
+  run["smoke"] = smoke;
+  JsonObject engine;
+  engine["events_per_sec"] = ev;
+  engine["schedule_run_events_per_sec"] = ev_plain;
+  engine["schedule_cancel_ops_per_sec"] = sc;
+  engine["queue_push_pop_ops_per_sec"] = qp;
+  engine["pool_acquire_return_ops_per_sec"] = pa;
+  run["engine"] = engine;
+  JsonObject fig4;
+  fig4["cells"] = static_cast<std::uint64_t>(sweep.cells);
+  fig4["threads"] = static_cast<std::int64_t>(sweep.threads);
+  fig4["wall_s_1thread"] = sweep.wall_s_1thread;
+  fig4["wall_s_nthreads"] = sweep.wall_s_nthreads;
+  fig4["speedup"] = sweep.speedup;
+  run["fig4_sweep"] = fig4;
+
+  JsonObject doc;
+  JsonArray runs;
+  if (std::filesystem::exists(out_path)) {
+    try {
+      JsonValue existing = json_parse_file(out_path);
+      if (const JsonValue* r = existing.find("runs"); r && r->is_array()) {
+        runs = r->as_array();
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "warning: could not parse %s (%s); rewriting\n",
+                   out_path.c_str(), e.what());
+    }
+  }
+  runs.emplace_back(run);
+  doc["schema"] = "ilu-bench-core-v1";
+  doc["runs"] = runs;
+  std::ofstream out(out_path);
+  out << JsonValue(doc).dump(2) << "\n";
+  std::printf("\nappended run '%s' to %s (%zu total)\n", label.c_str(),
+              out_path.c_str(), runs.size());
+  return 0;
+}

@@ -1,0 +1,147 @@
+#include "exp/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "util/log.hpp"
+
+namespace ilu::exp {
+
+namespace {
+
+/// One worker's job queue: owner pops from the front, thieves steal from
+/// the back. A plain mutex per deque is ample here — sweep tasks are whole
+/// simulations (milliseconds to minutes), so queue traffic is negligible.
+struct WorkDeque {
+  std::mutex mu;
+  std::deque<std::size_t> jobs;
+
+  bool pop_front(std::size_t& out) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (jobs.empty()) return false;
+    out = jobs.front();
+    jobs.pop_front();
+    return true;
+  }
+  bool steal_back(std::size_t& out) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (jobs.empty()) return false;
+    out = jobs.back();
+    jobs.pop_back();
+    return true;
+  }
+};
+
+}  // namespace
+
+SweepRunner::SweepRunner(SweepOptions opt) : opt_(opt) {
+  threads_ = opt_.threads != 0 ? opt_.threads
+                               : std::thread::hardware_concurrency();
+  if (threads_ == 0) threads_ = 1;
+}
+
+void SweepRunner::run_jobs(std::vector<std::function<void()>>&& jobs) {
+  const std::size_t n = jobs.size();
+  if (n == 0) return;
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(threads_, n));
+
+  // Per-task captured log text, flushed in submission order afterwards.
+  std::vector<std::string> captured(opt_.capture_logs ? n : 0);
+
+  auto run_one = [&](std::size_t idx) {
+    if (opt_.capture_logs) {
+      std::ostringstream os;
+      std::ostream* prev = set_thread_log_sink(&os);
+      jobs[idx]();
+      set_thread_log_sink(prev);
+      captured[idx] = os.str();
+    } else {
+      jobs[idx]();
+    }
+  };
+
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  auto guarded = [&](std::size_t idx) {
+    try {
+      run_one(idx);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+
+  if (workers == 1) {
+    for (std::size_t i = 0; i < n; ++i) guarded(i);
+  } else {
+    // Round-robin initial distribution; idle workers steal from the back of
+    // their siblings' deques.
+    std::vector<WorkDeque> deques(workers);
+    for (std::size_t i = 0; i < n; ++i) {
+      deques[i % workers].jobs.push_back(i);
+    }
+    std::atomic<std::size_t> remaining{n};
+
+    auto worker_loop = [&](unsigned me) {
+      std::size_t idx;
+      while (remaining.load(std::memory_order_acquire) > 0) {
+        if (deques[me].pop_front(idx)) {
+          guarded(idx);
+          remaining.fetch_sub(1, std::memory_order_acq_rel);
+          continue;
+        }
+        bool stole = false;
+        for (unsigned k = 1; k < workers; ++k) {
+          if (deques[(me + k) % workers].steal_back(idx)) {
+            guarded(idx);
+            remaining.fetch_sub(1, std::memory_order_acq_rel);
+            stole = true;
+            break;
+          }
+        }
+        // All deques empty but siblings still executing: nothing left for
+        // us — the remaining counter will hit zero when they finish.
+        if (!stole) std::this_thread::yield();
+      }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      pool.emplace_back(worker_loop, w);
+    }
+    for (auto& t : pool) t.join();
+  }
+
+  if (opt_.capture_logs) {
+    for (const auto& text : captured) log_write_raw(text);
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+unsigned threads_from_args(int& argc, char** argv, unsigned fallback) {
+  unsigned value = fallback;
+  if (const char* env = std::getenv("ILU_THREADS")) {
+    value = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      value = static_cast<unsigned>(std::strtoul(argv[i + 1], nullptr, 10));
+      // Strip the flag and its argument so positional parsing is unaffected.
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      break;
+    }
+  }
+  return value;
+}
+
+}  // namespace ilu::exp

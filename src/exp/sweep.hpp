@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+/// Parallel experiment sweep engine.
+///
+/// The paper's trace-scale evaluation (Figs 4/5, the ablations) is a grid of
+/// *independent, deterministic* simulations — each task builds its own
+/// SimRuntime / KeepAliveCache / Worker from an explicit seed and shares
+/// nothing mutable with its siblings. SweepRunner fans such grids across
+/// hardware threads with a work-stealing scheduler while preserving the
+/// sequential path's observable behaviour exactly:
+///
+///  * **Determinism contract** — results land in a vector indexed by
+///    submission order, so for the same task list and seeds the returned
+///    rows are byte-identical at 1, 4, or N threads (and identical to a
+///    plain sequential loop). Tasks must not read shared mutable state;
+///    immutable inputs (a const Trace&) may be shared freely.
+///  * **Log isolation** — each task's log output is captured through the
+///    thread-local sink override (set_thread_log_sink) into a per-task
+///    buffer and flushed to the real sink in submission order after the
+///    sweep, so parallel sims never interleave lines.
+///  * **Metrics isolation** — tasks build their own MetricsRegistry /
+///    Worker instances; the engine never introduces cross-task instruments.
+namespace ilu::exp {
+
+struct SweepOptions {
+  /// Worker thread count; 0 means std::thread::hardware_concurrency().
+  unsigned threads = 0;
+  /// Capture per-task log output and flush it in submission order.
+  bool capture_logs = true;
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions opt = {});
+
+  /// The resolved worker count (>= 1).
+  unsigned threads() const { return threads_; }
+
+  /// Run all jobs to completion (blocking). Jobs are claimed from
+  /// per-worker deques with stealing, so imbalanced grids (one slow cell)
+  /// keep every core busy. The first exception thrown by a job is rethrown
+  /// here after all workers join.
+  void run_jobs(std::vector<std::function<void()>>&& jobs);
+
+  /// Typed convenience wrapper: runs every task, returns results in
+  /// submission order.
+  template <typename R>
+  std::vector<R> run(const std::vector<std::function<R()>>& tasks) {
+    std::vector<std::optional<R>> slots(tasks.size());
+    std::vector<std::function<void()>> jobs;
+    jobs.reserve(tasks.size());
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      jobs.emplace_back([&slots, &tasks, i] { slots[i].emplace(tasks[i]()); });
+    }
+    run_jobs(std::move(jobs));
+    std::vector<R> out;
+    out.reserve(slots.size());
+    for (auto& s : slots) out.push_back(std::move(*s));
+    return out;
+  }
+
+ private:
+  SweepOptions opt_;
+  unsigned threads_ = 1;
+};
+
+/// Strip a `--threads N` flag from argv (any position) and return N; when
+/// absent, consult the ILU_THREADS environment variable; when neither is
+/// set, return `fallback` (0 = hardware concurrency). Used by every sweep
+/// bench so `fig4_exec_increase --threads 8` just works.
+unsigned threads_from_args(int& argc, char** argv, unsigned fallback = 0);
+
+}  // namespace ilu::exp

@@ -22,6 +22,9 @@
 ///   baseline/  the OpenWhisk behavioural model (and FaasCache, via its
 ///              keep-alive policy knob)
 ///   lb/        CH-BL consistent hashing with bounded loads + cluster
+///   exp/       parallel experiment sweep engine: work-stealing fan-out of
+///              independent deterministic simulations with submission-order
+///              result collection and per-task log isolation
 
 #include "baseline/openwhisk.hpp"
 #include "common/types.hpp"
@@ -33,6 +36,7 @@
 #include "core/span_tracer.hpp"
 #include "core/energy.hpp"
 #include "core/worker.hpp"
+#include "exp/sweep.hpp"
 #include "keepalive/cache.hpp"
 #include "keepalive/policy.hpp"
 #include "keepalive/pool.hpp"

@@ -1,5 +1,8 @@
 #include "keepalive/simulator.hpp"
 
+#include <functional>
+
+#include "exp/sweep.hpp"
 #include "keepalive/policy.hpp"
 
 namespace ilu {
@@ -39,13 +42,20 @@ KeepAliveSimResult run_keepalive_sim_with(const Trace& trace,
 
 std::vector<KeepAliveSimResult> sweep_cache_sizes(
     const Trace& trace, const std::string& policy_name,
-    const std::vector<std::uint64_t>& capacities_mb) {
-  std::vector<KeepAliveSimResult> out;
-  out.reserve(capacities_mb.size());
+    const std::vector<std::uint64_t>& capacities_mb, unsigned threads) {
+  // Each cell builds its own policy + cache and only reads the shared trace,
+  // so the parallel fan-out is deterministic and result order is capacity
+  // order whatever the thread count.
+  std::vector<std::function<KeepAliveSimResult()>> tasks;
+  tasks.reserve(capacities_mb.size());
   for (auto mb : capacities_mb) {
-    out.push_back(run_keepalive_sim(trace, policy_name, mb));
+    tasks.emplace_back(
+        [&trace, &policy_name, mb] {
+          return run_keepalive_sim(trace, policy_name, mb);
+        });
   }
-  return out;
+  exp::SweepRunner runner({.threads = threads});
+  return runner.run(tasks);
 }
 
 }  // namespace ilu

@@ -1,16 +1,21 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <utility>
 
 #include "obs/metrics.hpp"
 #include "queueing/queue_policy.hpp"
+#include "runtime/indexed_heap.hpp"
 
 /// The per-worker invocation queue (§5): a priority queue sorted by the
 /// active discipline, with FIFO tie-breaking (sequence numbers) so equal
 /// priorities preserve arrival order.
+///
+/// Backed by the same indexed d-ary heap primitive as the event engine
+/// (runtime/indexed_heap.hpp): push/pop are O(log n) over a contiguous key
+/// array with slab-recycled items, replacing the former `std::map` whose
+/// every insert/erase was a red-black-tree node allocation.
 namespace ilu {
 
 class InvocationQueue {
@@ -24,7 +29,7 @@ class InvocationQueue {
   void push(QueueItem item, bool warm_available) {
     item.seq = next_seq_++;
     double pri = policy_.priority(item, chars_, warm_available);
-    items_.emplace(std::make_pair(pri, item.seq), std::move(item));
+    items_.push(Key{pri, item.seq}, std::move(item));
     if (depth_gauge_) {
       depth_gauge_->set(static_cast<std::int64_t>(items_.size()));
     }
@@ -33,9 +38,7 @@ class InvocationQueue {
   /// Dispatch the lowest-priority item.
   std::optional<QueueItem> pop() {
     if (items_.empty()) return std::nullopt;
-    auto it = items_.begin();
-    QueueItem item = std::move(it->second);
-    items_.erase(it);
+    QueueItem item = items_.pop_min();
     if (depth_gauge_) {
       depth_gauge_->set(static_cast<std::int64_t>(items_.size()));
     }
@@ -44,8 +47,9 @@ class InvocationQueue {
 
   /// Peek at the head priority (for tests / bypass heuristics).
   std::optional<double> head_priority() const {
-    if (items_.empty()) return std::nullopt;
-    return items_.begin()->first.first;
+    const Key* k = items_.peek_key();
+    if (k == nullptr) return std::nullopt;
+    return k->first;
   }
 
   std::size_t size() const { return items_.size(); }
@@ -60,11 +64,13 @@ class InvocationQueue {
   }
 
  private:
+  using Key = std::pair<double, std::uint64_t>;
+
   const QueuePolicy& policy_;
   const CharacteristicsMap& chars_;
   Gauge* depth_gauge_ = nullptr;
   std::uint64_t next_seq_ = 0;
-  std::map<std::pair<double, std::uint64_t>, QueueItem> items_;
+  IndexedHeap<Key, QueueItem> items_;
 };
 
 }  // namespace ilu

@@ -1,8 +1,8 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
+#include "runtime/task.hpp"
 #include "util/time.hpp"
 
 /// Execution runtime abstraction (the paper's tokio stand-in).
@@ -22,7 +22,9 @@ namespace ilu {
 
 class Runtime {
  public:
-  using Task = std::function<void()>;
+  /// Move-only small-buffer-optimized callable (see runtime/task.hpp):
+  /// captures up to 48 B schedule without any heap allocation.
+  using Task = ilu::Task;
   /// Identifies a scheduled timer; usable with cancel().
   using TimerId = std::uint64_t;
   static constexpr TimerId kInvalidTimer = 0;

@@ -7,69 +7,39 @@ namespace ilu {
 
 Runtime::TimerId SimRuntime::schedule(Duration delay, Task fn) {
   assert(delay >= Duration::zero());
-  TimerId id = next_id_++;
-  heap_.push(Event{now_ + delay, next_seq_++, id, std::move(fn)});
-  return id;
+  return encode(heap_.push(EventKey{now_ + delay, next_seq_++}, std::move(fn)));
 }
 
 bool SimRuntime::cancel(TimerId id) {
-  if (id == kInvalidTimer || id >= next_id_) return false;
-  // Only mark if it is plausibly still pending; a duplicate cancel of an
-  // already-fired timer is a no-op returning false. We cannot cheaply know
-  // whether it fired, so track cancelled ids and let pop_next reconcile.
-  auto [it, inserted] = cancelled_.insert(id);
-  (void)it;
-  return inserted;
+  if (id == kInvalidTimer) return false;
+  // erase() checks the slot generation: an id whose event already fired (or
+  // was cancelled before) no longer matches and returns false exactly.
+  return heap_.erase(decode(id));
 }
 
-bool SimRuntime::pop_next(Event& out) {
-  while (!heap_.empty()) {
-    // priority_queue::top is const; we only move from it immediately before
-    // popping, which is safe because pop() destroys the element.
-    Event& top = const_cast<Event&>(heap_.top());
-    if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      heap_.pop();
-      continue;
-    }
-    out = std::move(top);
-    heap_.pop();
-    return true;
-  }
-  return false;
+void SimRuntime::fire_next() {
+  EventKey key;
+  Task fn = heap_.pop_min(&key);
+  assert(key.deadline >= now_);
+  now_ = key.deadline;
+  ++processed_;
+  fn();
 }
 
 bool SimRuntime::step() {
-  Event ev;
-  if (!pop_next(ev)) return false;
-  assert(ev.deadline >= now_);
-  now_ = ev.deadline;
-  ++processed_;
-  ev.fn();
+  if (peek() == nullptr) return false;
+  fire_next();
   return true;
 }
 
 void SimRuntime::run() {
-  while (step()) {
-  }
+  while (peek() != nullptr) fire_next();
 }
 
 void SimRuntime::run_until(TimePoint t) {
-  Event ev;
-  while (!heap_.empty()) {
-    // Peek at the next live event without executing it.
-    while (!heap_.empty()) {
-      const Event& top = heap_.top();
-      auto it = cancelled_.find(top.id);
-      if (it == cancelled_.end()) break;
-      cancelled_.erase(it);
-      heap_.pop();
-    }
-    if (heap_.empty() || heap_.top().deadline > t) break;
-    if (!pop_next(ev)) break;
-    now_ = ev.deadline;
-    ++processed_;
-    ev.fn();
+  for (const EventKey* k = peek(); k != nullptr && k->deadline <= t;
+       k = peek()) {
+    fire_next();
   }
   if (now_ < t) now_ = t;
 }

@@ -1,18 +1,23 @@
 #pragma once
 
 #include <cstdint>
-#include <queue>
-#include <unordered_set>
-#include <vector>
 
+#include "runtime/indexed_heap.hpp"
 #include "runtime/runtime.hpp"
 
 /// Deterministic discrete-event runtime.
 ///
 /// Events are ordered by (deadline, sequence number), so runs are bit-exact
-/// reproducible for a given seed/workload. Cancellation is lazy: cancelled
-/// ids are skipped when popped, keeping schedule() and cancel() O(log n)
-/// and O(1) respectively.
+/// reproducible for a given seed/workload. The queue is an indexed d-ary
+/// heap over slab-allocated event nodes (see indexed_heap.hpp):
+///
+///  * schedule() is O(log n) and allocation-free in steady state — the
+///    closure lives inline in the recycled slot (ilu::Task SBO) and the
+///    sift moves only (deadline, seq, slot) keys;
+///  * cancel() is a true O(log n) removal keyed by a generation-checked
+///    handle — no tombstone set, so a cancel after the timer fired is
+///    detected exactly (returns false) and pending() is always the real
+///    number of queued events.
 namespace ilu {
 
 class SimRuntime final : public Runtime {
@@ -36,35 +41,46 @@ class SimRuntime final : public Runtime {
   /// Run for a further `d` of virtual time.
   void run_for(Duration d) { run_until(now_ + d); }
 
-  /// Number of pending (non-cancelled) events.
-  std::size_t pending() const { return heap_.size() - cancelled_.size(); }
+  /// Number of pending (non-cancelled) events. Exact: cancellation removes
+  /// the event immediately.
+  std::size_t pending() const { return heap_.size(); }
 
   /// Total events executed so far (for engine micro-benchmarks).
   std::uint64_t events_processed() const { return processed_; }
 
  private:
-  struct Event {
+  struct EventKey {
     TimePoint deadline;
     std::uint64_t seq;
-    TimerId id;
-    Task fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.deadline != b.deadline) return a.deadline > b.deadline;
-      return a.seq > b.seq;
+    bool operator<(const EventKey& o) const {
+      if (deadline != o.deadline) return deadline < o.deadline;
+      return seq < o.seq;
     }
   };
+  using Heap = IndexedHeap<EventKey, Task>;
 
-  /// Pop the next live event; false if none.
-  bool pop_next(Event& out);
+  /// TimerIds encode the heap handle: (generation << 32) | slot. Slot
+  /// generations start at 1, so no valid id is ever kInvalidTimer (0).
+  static TimerId encode(Heap::Handle h) {
+    return (static_cast<TimerId>(h.gen) << 32) | h.slot;
+  }
+  static Heap::Handle decode(TimerId id) {
+    return Heap::Handle{static_cast<std::uint32_t>(id & 0xffffffffu),
+                        static_cast<std::uint32_t>(id >> 32)};
+  }
+
+  /// Deadline of the next event, or nullptr when idle — the single peek
+  /// implementation shared by step() and run_until().
+  const EventKey* peek() const { return heap_.peek_key(); }
+
+  /// Pop and execute the next event unconditionally (heap must be
+  /// non-empty), advancing virtual time to its deadline.
+  void fire_next();
 
   TimePoint now_{0};
   std::uint64_t next_seq_ = 0;
-  TimerId next_id_ = 1;  // 0 is kInvalidTimer
   std::uint64_t processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
-  std::unordered_set<TimerId> cancelled_;
+  Heap heap_;
 };
 
 }  // namespace ilu

@@ -11,6 +11,9 @@ std::atomic<LogLevel> g_level{LogLevel::Warn};
 std::mutex g_out_mutex;
 /// Overriding sink; nullptr means stderr. Guarded by g_out_mutex.
 std::ostream* g_sink = nullptr;
+/// Per-thread override; takes precedence over g_sink (no lock needed: the
+/// stream is owned exclusively by this thread while set).
+thread_local std::ostream* t_sink = nullptr;
 
 const char* level_name(LogLevel l) {
   switch (l) {
@@ -34,8 +37,28 @@ void set_log_sink(std::ostream* sink) {
   g_sink = sink;
 }
 
+std::ostream* set_thread_log_sink(std::ostream* sink) {
+  std::ostream* prev = t_sink;
+  t_sink = sink;
+  return prev;
+}
+
+void log_write_raw(const std::string& text) {
+  if (text.empty()) return;
+  std::lock_guard<std::mutex> lock(g_out_mutex);
+  if (g_sink != nullptr) {
+    (*g_sink) << text;
+  } else {
+    std::fwrite(text.data(), 1, text.size(), stderr);
+  }
+}
+
 void log_message(LogLevel level, const std::string& msg) {
   if (level < log_level()) return;
+  if (t_sink != nullptr) {
+    (*t_sink) << "[" << level_name(level) << "] " << msg << "\n";
+    return;
+  }
   std::lock_guard<std::mutex> lock(g_out_mutex);
   if (g_sink != nullptr) {
     (*g_sink) << "[" << level_name(level) << "] " << msg << "\n";

@@ -24,6 +24,18 @@ LogLevel log_level();
 /// outlive all logging, and swapping it synchronizes with in-flight writes.
 void set_log_sink(std::ostream* sink);
 
+/// Thread-local sink override: while set, this thread's log output goes to
+/// `sink` *instead of* the global sink — lock-free, since the sink is
+/// thread-exclusive. The parallel sweep engine (exp/sweep.hpp) captures each
+/// task's lines this way so concurrent simulations never interleave output;
+/// nullptr restores the global path. Returns the previous override.
+std::ostream* set_thread_log_sink(std::ostream* sink);
+
+/// Write pre-formatted text (already line-terminated) straight to the
+/// current global sink / stderr, bypassing level filtering. Used to flush
+/// per-task captured logs in submission order.
+void log_write_raw(const std::string& text);
+
 /// Emit a message at `level` (no-op if below the global level).
 void log_message(LogLevel level, const std::string& msg);
 

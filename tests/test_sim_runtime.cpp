@@ -57,15 +57,54 @@ TEST(SimRuntime, CancelPreventsExecution) {
   EXPECT_EQ(rt.pending(), 0u);
 }
 
-TEST(SimRuntime, CancelAfterFireReturnsFalseEventually) {
+TEST(SimRuntime, CancelAfterFireReturnsFalse) {
+  // Regression: the old tombstone implementation returned true for *any*
+  // id < next_id_, leaking fired ids into the cancelled set forever and
+  // making pending() underflow. The indexed heap detects the fired timer
+  // exactly via the slot generation.
   SimRuntime rt;
   auto id = rt.schedule(msecs(1), [] {});
   rt.run();
-  // First cancel may return true (lazy bookkeeping), but a cancelled-set
-  // entry for a fired timer must not break subsequent scheduling.
-  rt.cancel(id);
+  EXPECT_FALSE(rt.cancel(id));
+  EXPECT_FALSE(rt.cancel(id));  // idempotent
+  EXPECT_EQ(rt.pending(), 0u);
   bool fired = false;
   rt.schedule(msecs(1), [&] { fired = true; });
+  EXPECT_EQ(rt.pending(), 1u);
+  rt.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimRuntime, PendingStaysExactUnderCancelChurn) {
+  SimRuntime rt;
+  std::vector<Runtime::TimerId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(rt.schedule(msecs(i + 1), [] {}));
+  }
+  EXPECT_EQ(rt.pending(), 100u);
+  // Cancel half while pending: exact decrements, double cancel is false.
+  for (int i = 0; i < 100; i += 2) {
+    EXPECT_TRUE(rt.cancel(ids[i]));
+    EXPECT_FALSE(rt.cancel(ids[i]));
+  }
+  EXPECT_EQ(rt.pending(), 50u);
+  rt.run();
+  EXPECT_EQ(rt.pending(), 0u);
+  EXPECT_EQ(rt.events_processed(), 50u);
+  // Cancelling fired (or already-cancelled) ids after the run never lies
+  // and never corrupts pending().
+  for (auto id : ids) EXPECT_FALSE(rt.cancel(id));
+  EXPECT_EQ(rt.pending(), 0u);
+}
+
+TEST(SimRuntime, CancelledTimerNeverFiresAfterIdReuse) {
+  // Slot recycling must not let a stale TimerId cancel a newer event.
+  SimRuntime rt;
+  auto a = rt.schedule(msecs(1), [] {});
+  rt.run();  // `a` fires; its slot is recycled below
+  bool fired = false;
+  rt.schedule(msecs(1), [&] { fired = true; });
+  EXPECT_FALSE(rt.cancel(a));  // stale id must not hit the new event
   rt.run();
   EXPECT_TRUE(fired);
 }
