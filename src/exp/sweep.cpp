@@ -1,7 +1,6 @@
 #include "exp/sweep.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cstdlib>
 #include <cstring>
 #include <deque>
@@ -39,6 +38,23 @@ struct WorkDeque {
   }
 };
 
+/// RAII capture of one task's log output: installs a thread-local string
+/// sink on construction and — even during exception unwinding — restores
+/// the previous sink and stores the captured text on destruction, so a
+/// throwing job can never leave the thread pointing at a dead sink.
+struct ScopedLogCapture {
+  std::ostringstream os;
+  std::ostream* prev;
+  std::string& out;
+
+  explicit ScopedLogCapture(std::string& o)
+      : prev(set_thread_log_sink(&os)), out(o) {}
+  ~ScopedLogCapture() {
+    set_thread_log_sink(prev);
+    out = os.str();
+  }
+};
+
 }  // namespace
 
 SweepRunner::SweepRunner(SweepOptions opt) : opt_(opt) {
@@ -58,11 +74,8 @@ void SweepRunner::run_jobs(std::vector<std::function<void()>>&& jobs) {
 
   auto run_one = [&](std::size_t idx) {
     if (opt_.capture_logs) {
-      std::ostringstream os;
-      std::ostream* prev = set_thread_log_sink(&os);
+      ScopedLogCapture capture(captured[idx]);
       jobs[idx]();
-      set_thread_log_sink(prev);
-      captured[idx] = os.str();
     } else {
       jobs[idx]();
     }
@@ -88,28 +101,26 @@ void SweepRunner::run_jobs(std::vector<std::function<void()>>&& jobs) {
     for (std::size_t i = 0; i < n; ++i) {
       deques[i % workers].jobs.push_back(i);
     }
-    std::atomic<std::size_t> remaining{n};
 
     auto worker_loop = [&](unsigned me) {
       std::size_t idx;
-      while (remaining.load(std::memory_order_acquire) > 0) {
+      for (;;) {
         if (deques[me].pop_front(idx)) {
           guarded(idx);
-          remaining.fetch_sub(1, std::memory_order_acq_rel);
           continue;
         }
         bool stole = false;
         for (unsigned k = 1; k < workers; ++k) {
           if (deques[(me + k) % workers].steal_back(idx)) {
             guarded(idx);
-            remaining.fetch_sub(1, std::memory_order_acq_rel);
             stole = true;
             break;
           }
         }
-        // All deques empty but siblings still executing: nothing left for
-        // us — the remaining counter will hit zero when they finish.
-        if (!stole) std::this_thread::yield();
+        // All jobs are distributed up-front and never re-enqueued, so once
+        // every deque is empty no work can appear: exit instead of spinning
+        // while siblings finish their last jobs (join waits for those).
+        if (!stole) return;
       }
     };
 
@@ -135,8 +146,9 @@ unsigned threads_from_args(int& argc, char** argv, unsigned fallback) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       value = static_cast<unsigned>(std::strtoul(argv[i + 1], nullptr, 10));
-      // Strip the flag and its argument so positional parsing is unaffected.
-      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      // Strip the flag and its argument so positional parsing is unaffected;
+      // shift includes argv[argc] to keep the required nullptr terminator.
+      for (int j = i; j + 2 <= argc; ++j) argv[j] = argv[j + 2];
       argc -= 2;
       break;
     }

@@ -74,7 +74,9 @@ class SweepRunner {
 /// Strip a `--threads N` flag from argv (any position) and return N; when
 /// absent, consult the ILU_THREADS environment variable; when neither is
 /// set, return `fallback` (0 = hardware concurrency). Used by every sweep
-/// bench so `fig4_exec_increase --threads 8` just works.
+/// bench so `fig4_exec_increase --threads 8` just works. argv must carry
+/// main()'s nullptr terminator at argv[argc]; it is preserved when the
+/// flag is stripped.
 unsigned threads_from_args(int& argc, char** argv, unsigned fallback = 0);
 
 }  // namespace ilu::exp

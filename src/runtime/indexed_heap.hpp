@@ -27,6 +27,15 @@
 /// Handles are (slot, generation) pairs: freeing a slot bumps its
 /// generation, so a stale handle (popped or already-erased entry) can never
 /// alias a recycled slot — `erase` on it just returns false.
+///
+/// **Staleness bound**: generations are 32-bit, so a handle is only
+/// guaranteed stale-safe for the first 2^32 - 1 frees of *its* slot. At the
+/// measured ~66M schedule/cancel ops/s a single maximally-hot slot could
+/// wrap in about a minute of wall time, after which a handle retained from
+/// before the wrap would falsely validate. Callers must therefore treat
+/// handles as short-lived (check/erase them within a bounded number of
+/// events of issue, as SimRuntime's timers and InvocationQueue's entries
+/// do), not as durable references to park indefinitely.
 namespace ilu {
 
 template <typename Key, typename Value, typename Compare = std::less<Key>>

@@ -175,6 +175,34 @@ TEST(SweepRunner, PropagatesFirstTaskException) {
   EXPECT_THROW({ runner.run(tasks); }, std::runtime_error);
 }
 
+TEST(SweepRunner, RestoresLogSinkWhenTaskThrows) {
+  LogLevel prev_level = log_level();
+  set_log_level(LogLevel::Info);
+  std::ostringstream captured;
+  set_log_sink(&captured);
+
+  std::vector<std::function<int()>> tasks;
+  tasks.emplace_back([]() -> int {
+    log_info("before throw");
+    throw std::runtime_error("cell failed");
+  });
+  // threads=1 runs the job on the calling thread: a leaked per-task sink
+  // would leave *this* thread logging into a destroyed buffer.
+  exp::SweepRunner runner({.threads = 1});
+  EXPECT_THROW({ runner.run(tasks); }, std::runtime_error);
+
+  // Sink must be restored despite the unwind, and the throwing task's
+  // captured lines still flushed.
+  log_info("after sweep");
+
+  set_log_sink(nullptr);
+  set_log_level(prev_level);
+
+  std::string text = captured.str();
+  EXPECT_NE(text.find("before throw"), std::string::npos);
+  EXPECT_NE(text.find("after sweep"), std::string::npos);
+}
+
 TEST(SweepRunner, ResolvesThreadCounts) {
   EXPECT_GE(exp::SweepRunner({.threads = 0}).threads(), 1u);
   EXPECT_EQ(exp::SweepRunner({.threads = 3}).threads(), 3u);
@@ -182,15 +210,18 @@ TEST(SweepRunner, ResolvesThreadCounts) {
 
 TEST(ThreadsFromArgs, ParsesAndStripsFlag) {
   unsetenv("ILU_THREADS");
+  // Mirror main()'s contract: argv[argc] is a nullptr terminator.
   const char* argv_in[] = {"bench", "pos1", "--threads", "6", "pos2"};
-  char* argv[5];
+  char* argv[6];
   for (int i = 0; i < 5; ++i) argv[i] = const_cast<char*>(argv_in[i]);
+  argv[5] = nullptr;
   int argc = 5;
   unsigned threads = exp::threads_from_args(argc, argv, 2);
   EXPECT_EQ(threads, 6u);
   ASSERT_EQ(argc, 3);
   EXPECT_STREQ(argv[1], "pos1");
   EXPECT_STREQ(argv[2], "pos2");
+  EXPECT_EQ(argv[argc], nullptr);
 }
 
 TEST(ThreadsFromArgs, FallbackWhenAbsent) {
