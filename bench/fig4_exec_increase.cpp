@@ -10,7 +10,11 @@
 // The (trace x policy x cache-size) grid fans across cores via the
 // exp::SweepRunner (`--threads N`, default all cores); each cell is an
 // independent deterministic simulation and the output is byte-identical to
-// the sequential order whatever the thread count.
+// the sequential order whatever the thread count. `--shard i/n` runs only
+// every n-th cell (offset i) so the grid can be split across machines;
+// skipped cells print as "-" and are omitted from the CSV.
+
+#include <numeric>
 
 #include "bench_util.hpp"
 
@@ -19,6 +23,7 @@ int main(int argc, char** argv) {
   using namespace ilu::bench;
 
   unsigned threads = exp::threads_from_args(argc, argv);
+  exp::SweepShard shard = exp::shard_from_args(argc, argv);
 
   // Day-long traces at their *natural* rates: the keep-alive comparison
   // needs the trace's own concurrency level (force-scaling to the Table 2
@@ -57,10 +62,22 @@ int main(int argc, char** argv) {
       }
     }
   }
-  exp::SweepRunner runner({.threads = threads});
-  std::printf("(sweep: %zu cells on %u threads)\n", tasks.size(),
+  const std::size_t grid_size = tasks.size();
+  std::vector<std::size_t> owned(grid_size);
+  std::iota(owned.begin(), owned.end(), std::size_t{0});
+  owned = shard.filter(std::move(owned));
+  auto mine = shard.filter(std::move(tasks));
+
+  exp::SweepRunner runner(
+      {.threads = threads, .progress_interval = secs(5.0)});
+  std::printf("(sweep: %zu of %zu cells [shard %zu/%zu] on %u threads)\n",
+              mine.size(), grid_size, shard.index, shard.count,
               runner.threads());
-  auto results = runner.run(tasks);
+  auto mine_results = runner.run(mine);
+  std::vector<std::optional<KeepAliveSimResult>> results(grid_size);
+  for (std::size_t k = 0; k < owned.size(); ++k) {
+    results[owned[k]] = std::move(mine_results[k]);
+  }
 
   CsvWriter csv(results_dir() + "/fig4_exec_increase.csv");
   csv.row("trace", "policy", "cache_gb", "exec_increase_pct",
@@ -79,8 +96,13 @@ int main(int argc, char** argv) {
       std::printf("%-6s", pol.c_str());
       for (auto gb : cache_gb) {
         const auto& r = results[idx++];
-        std::printf("%9.3f", r.exec_increase_pct());
-        csv.row(tc.name, pol, gb, r.exec_increase_pct(), r.cold_fraction());
+        if (!r) {
+          std::printf("%9s", "-");
+          continue;
+        }
+        std::printf("%9.3f", r->exec_increase_pct());
+        csv.row(tc.name, pol, gb, r->exec_increase_pct(),
+                r->cold_fraction());
       }
       std::printf("\n");
     }

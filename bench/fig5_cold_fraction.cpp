@@ -4,7 +4,10 @@
 // per-function miss cost that Greedy-Dual optimizes.
 //
 // Parallelized over the grid like fig4 (`--threads N`); output order is
-// submission order, independent of thread count.
+// submission order, independent of thread count. Supports the same
+// `--shard i/n` cross-machine grid split as fig4.
+
+#include <numeric>
 
 #include "bench_util.hpp"
 
@@ -13,6 +16,7 @@ int main(int argc, char** argv) {
   using namespace ilu::bench;
 
   unsigned threads = exp::threads_from_args(argc, argv);
+  exp::SweepShard shard = exp::shard_from_args(argc, argv);
 
   // Natural-rate, day-long traces (same reasoning as fig4).
   AzureModelConfig mcfg;
@@ -46,10 +50,22 @@ int main(int argc, char** argv) {
       }
     }
   }
-  exp::SweepRunner runner({.threads = threads});
-  std::printf("(sweep: %zu cells on %u threads)\n", tasks.size(),
+  const std::size_t grid_size = tasks.size();
+  std::vector<std::size_t> owned(grid_size);
+  std::iota(owned.begin(), owned.end(), std::size_t{0});
+  owned = shard.filter(std::move(owned));
+  auto mine = shard.filter(std::move(tasks));
+
+  exp::SweepRunner runner(
+      {.threads = threads, .progress_interval = secs(5.0)});
+  std::printf("(sweep: %zu of %zu cells [shard %zu/%zu] on %u threads)\n",
+              mine.size(), grid_size, shard.index, shard.count,
               runner.threads());
-  auto results = runner.run(tasks);
+  auto mine_results = runner.run(mine);
+  std::vector<std::optional<KeepAliveSimResult>> results(grid_size);
+  for (std::size_t k = 0; k < owned.size(); ++k) {
+    results[owned[k]] = std::move(mine_results[k]);
+  }
 
   CsvWriter csv(results_dir() + "/fig5_cold_fraction.csv");
   csv.row("trace", "policy", "cache_gb", "cold_fraction");
@@ -63,8 +79,12 @@ int main(int argc, char** argv) {
       std::printf("%-6s", pol.c_str());
       for (auto gb : cache_gb) {
         const auto& r = results[idx++];
-        std::printf("%9.4f", r.cold_fraction());
-        csv.row(tc.name, pol, gb, r.cold_fraction());
+        if (!r) {
+          std::printf("%9s", "-");
+          continue;
+        }
+        std::printf("%9.4f", r->cold_fraction());
+        csv.row(tc.name, pol, gb, r->cold_fraction());
       }
       std::printf("\n");
     }

@@ -12,9 +12,14 @@
 // Schema (ilu-bench-core-v1): {"schema", "runs": [{label, utc, host_threads,
 // smoke, engine:{events_per_sec, schedule_run_events_per_sec,
 // schedule_cancel_ops_per_sec, queue_push_pop_ops_per_sec,
-// pool_acquire_return_ops_per_sec}, fig4_sweep:{cells, threads,
-// wall_s_1thread, wall_s_nthreads, speedup}}]}. Fields are only ever added,
-// never renamed, so downstream tooling can diff runs across PRs.
+// pool_acquire_return_ops_per_sec}, trace_gen:{functions, events,
+// aos_events_per_sec, arena_events_per_sec}, cluster_scaling:{shards,
+// completed, wall_s_serial, wall_s_sharded, speedup, equivalent},
+// fig4_sweep:{cells, threads, wall_s_1thread, wall_s_nthreads, speedup}}]}.
+// Fields are only ever added, never renamed, so downstream tooling can diff
+// runs across PRs. Note: on a 1-core CI host cluster_scaling.speedup < 1 by
+// construction (barriers with no parallel hardware); `equivalent` is the
+// load-bearing field there.
 
 #include <array>
 #include <chrono>
@@ -222,6 +227,118 @@ SweepTiming fig4_sweep_timing(unsigned threads, bool smoke) {
   return out;
 }
 
+struct TraceGenTiming {
+  std::size_t functions = 0;
+  std::size_t events = 0;
+  double aos_events_per_sec = 0.0;    // make_synthetic_trace (AoS + sort)
+  double arena_events_per_sec = 0.0;  // make_synthetic_arena (SoA keys)
+};
+
+/// Satellite bench: generator throughput on a wide function grid (20k
+/// functions full, 2k smoke). The SoA arena path sorts packed u64 keys
+/// instead of 24-byte TraceEvent structs; both must yield identical events.
+TraceGenTiming trace_gen_timing(bool smoke) {
+  TraceGenTiming out;
+  out.functions = smoke ? 2000 : 20000;
+  std::vector<SyntheticFunctionSpec> specs;
+  specs.reserve(out.functions);
+  Rng rng(101);
+  auto bench_fns = function_bench();
+  for (std::size_t i = 0; i < out.functions; ++i) {
+    auto p = bench_fns[i % bench_fns.size()];
+    p.name += "_" + std::to_string(i);
+    specs.push_back({.profile = p,
+                     .mean_iat = secs(rng.uniform(5.0, 60.0)),
+                     .exponential = true});
+  }
+  const Duration dur = mins(2);
+
+  out.events = make_synthetic_arena(specs, dur, 13).size();
+  const int reps = smoke ? 2 : 3;
+  out.aos_events_per_sec = best_ops_per_sec(out.events, reps, [&] {
+    auto t = make_synthetic_trace(specs, dur, 13);
+    if (t.events.size() != out.events) std::exit(1);
+  });
+  out.arena_events_per_sec = best_ops_per_sec(out.events, reps, [&] {
+    auto a = make_synthetic_arena(specs, dur, 13);
+    if (a.size() != out.events) std::exit(1);
+  });
+  return out;
+}
+
+struct ClusterShardTiming {
+  std::size_t shards = 2;
+  std::uint64_t completed = 0;
+  double wall_s_serial = 0.0;
+  double wall_s_sharded = 0.0;
+  double speedup = 0.0;
+  bool equivalent = false;
+};
+
+/// Tentpole record: the 16-worker cluster scenario on 1 shard vs N shards.
+/// On a 1-core host the sharded run is slower (barrier overhead with no
+/// parallel hardware) — `equivalent` is the field CI cares about; wall
+/// times only become a speedup with >= `shards` free cores.
+ClusterShardTiming cluster_sharded_timing(unsigned threads, bool smoke) {
+  std::vector<SyntheticFunctionSpec> specs;
+  Rng rng(23);
+  auto bench_fns = function_bench();
+  for (int i = 0; i < 32; ++i) {
+    auto p = bench_fns[i % bench_fns.size()];
+    if (p.name == "video_encoding") p = bench_fns[(i + 1) % bench_fns.size()];
+    p.name += "_" + std::to_string(i);
+    specs.push_back({.profile = p,
+                     .mean_iat = secs(rng.uniform(0.1, 0.5)),
+                     .exponential = true});
+  }
+  auto arena = make_synthetic_arena(specs, smoke ? secs(10) : secs(45), 31);
+
+  auto run_once = [&](std::size_t nshards, double* wall_s) {
+    ClusterConfig cfg;
+    cfg.num_workers = 16;
+    cfg.lb = LbPolicy::ChBl;
+    cfg.worker.cores = 8;
+    cfg.worker.memory_mb = 8 * 1024;
+    cfg.rpc = LatencyModel::shifted(msecs(1.0),
+                                    LatencyModel::lognormal(usecs(100), 0.4));
+    ShardedRuntime srt(nshards, cfg.rpc.lower_bound());
+    Cluster cluster(srt, cfg);
+    for (const auto& f : arena.functions) cluster.register_function(f);
+    cluster.start();
+    OpenLoopDriver d(srt.shard(0),
+                     [&](FunctionId fn,
+                         std::function<void(const InvokeResult&)> cb) {
+                       cluster.invoke(fn, std::move(cb));
+                     });
+    auto t0 = Clock::now();
+    d.start(arena);
+    while (!d.done()) srt.run_for(secs(20));
+    *wall_s = seconds_since(t0);
+    cluster.shutdown();
+    std::vector<std::string> names;
+    for (const auto& f : arena.functions) names.push_back(f.name);
+    ExperimentReport rep(std::move(names));
+    rep.add_all(d.results());
+    return std::pair{rep.to_json().dump(), d.results().size()};
+  };
+
+  ClusterShardTiming out;
+  out.shards = std::max<std::size_t>(2, std::min<std::size_t>(threads, 4));
+  auto [serial_fp, completed] = run_once(1, &out.wall_s_serial);
+  auto [sharded_fp, completed2] = run_once(out.shards, &out.wall_s_sharded);
+  out.completed = completed;
+  out.equivalent = serial_fp == sharded_fp && completed == completed2;
+  out.speedup = out.wall_s_sharded > 0.0
+                    ? out.wall_s_serial / out.wall_s_sharded
+                    : 0.0;
+  if (!out.equivalent) {
+    std::fprintf(stderr,
+                 "FATAL: sharded cluster diverged from serial report\n");
+    std::exit(1);
+  }
+  return out;
+}
+
 std::string utc_now_string() {
   std::time_t t = std::time(nullptr);
   char buf[32];
@@ -260,6 +377,24 @@ int main(int argc, char** argv) {
   double pa = pool_acquire_return_ops_per_sec(rounds * 100);
   std::printf("%-36s %12.0f /s\n", "pool acquire+return ops", pa);
 
+  auto tg = trace_gen_timing(smoke);
+  std::printf("%-36s %12zu fns, %zu events\n", "trace gen grid", tg.functions,
+              tg.events);
+  std::printf("%-36s %12.0f /s\n", "trace gen (AoS stable_sort)",
+              tg.aos_events_per_sec);
+  std::printf("%-36s %12.0f /s\n", "trace gen (SoA arena keys)",
+              tg.arena_events_per_sec);
+
+  auto cs = cluster_sharded_timing(threads, smoke);
+  std::printf("%-36s %12.2f s\n", "cluster sim wall (1 shard)",
+              cs.wall_s_serial);
+  std::printf("cluster sim wall (%zu shards)%*s %10.2f s\n", cs.shards,
+              static_cast<int>(36 - 26 - std::to_string(cs.shards).size()), "",
+              cs.wall_s_sharded);
+  std::printf("%-36s %12.2fx\n", "cluster sim sharded speedup", cs.speedup);
+  std::printf("%-36s %12s\n", "cluster sim reports equivalent",
+              cs.equivalent ? "yes" : "NO");
+
   auto sweep = fig4_sweep_timing(threads, smoke);
   std::printf("%-36s %12zu\n", "fig4 sweep cells", sweep.cells);
   std::printf("%-36s %12.2f s\n", "fig4 sweep wall (1 thread)",
@@ -284,6 +419,20 @@ int main(int argc, char** argv) {
   engine["queue_push_pop_ops_per_sec"] = qp;
   engine["pool_acquire_return_ops_per_sec"] = pa;
   run["engine"] = engine;
+  JsonObject trace_gen;
+  trace_gen["functions"] = static_cast<std::uint64_t>(tg.functions);
+  trace_gen["events"] = static_cast<std::uint64_t>(tg.events);
+  trace_gen["aos_events_per_sec"] = tg.aos_events_per_sec;
+  trace_gen["arena_events_per_sec"] = tg.arena_events_per_sec;
+  run["trace_gen"] = trace_gen;
+  JsonObject cluster;
+  cluster["shards"] = static_cast<std::uint64_t>(cs.shards);
+  cluster["completed"] = cs.completed;
+  cluster["wall_s_serial"] = cs.wall_s_serial;
+  cluster["wall_s_sharded"] = cs.wall_s_sharded;
+  cluster["speedup"] = cs.speedup;
+  cluster["equivalent"] = cs.equivalent;
+  run["cluster_scaling"] = cluster;
   JsonObject fig4;
   fig4["cells"] = static_cast<std::uint64_t>(sweep.cells);
   fig4["threads"] = static_cast<std::int64_t>(sweep.threads);

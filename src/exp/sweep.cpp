@@ -1,10 +1,15 @@
 #include "exp/sweep.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <exception>
+#include <iostream>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <thread>
@@ -55,12 +60,78 @@ struct ScopedLogCapture {
   }
 };
 
+/// Wall-clock progress reporter: wakes every `interval`, reads the sweep
+/// counters, and prints one line with throughput and a remaining-time
+/// estimate. Runs on its own thread with the *real* log sink (never a
+/// task's capture buffer), and exits promptly when notified.
+class ProgressReporter {
+ public:
+  ProgressReporter(Duration interval, std::ostream& out, std::size_t total,
+                   const Counter& done, std::uint64_t base)
+      : interval_(interval), out_(out), total_(total), done_(done),
+        base_(base), start_(std::chrono::steady_clock::now()),
+        thread_([this] { loop(); }) {}
+
+  ~ProgressReporter() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  void loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!cv_.wait_for(lock, std::chrono::microseconds(interval_.count()),
+                         [this] { return stop_; })) {
+      report();
+    }
+  }
+
+  void report() {
+    const std::uint64_t done = done_.value() - base_;
+    const double elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    const double rate = elapsed_s > 0.0 ? done / elapsed_s : 0.0;
+    char line[160];
+    if (done == 0 || rate <= 0.0) {
+      std::snprintf(line, sizeof(line),
+                    "[sweep] %llu/%zu cells, warming up (%.0fs elapsed)\n",
+                    static_cast<unsigned long long>(done), total_, elapsed_s);
+    } else {
+      const double eta_s = (total_ > done ? total_ - done : 0) / rate;
+      std::snprintf(line, sizeof(line),
+                    "[sweep] %llu/%zu cells, %.1f cells/s, ETA %.0fs\n",
+                    static_cast<unsigned long long>(done), total_, rate,
+                    eta_s);
+    }
+    out_ << line << std::flush;
+  }
+
+  Duration interval_;
+  std::ostream& out_;
+  std::size_t total_;
+  const Counter& done_;
+  std::uint64_t base_;
+  std::chrono::steady_clock::time_point start_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
 }  // namespace
 
 SweepRunner::SweepRunner(SweepOptions opt) : opt_(opt) {
   threads_ = opt_.threads != 0 ? opt_.threads
                                : std::thread::hardware_concurrency();
   if (threads_ == 0) threads_ = 1;
+  cells_done_ = metrics_.counter("sweep.cells_done");
+  cells_total_ = metrics_.gauge("sweep.cells_total");
 }
 
 void SweepRunner::run_jobs(std::vector<std::function<void()>>&& jobs) {
@@ -68,6 +139,15 @@ void SweepRunner::run_jobs(std::vector<std::function<void()>>&& jobs) {
   if (n == 0) return;
   const unsigned workers =
       static_cast<unsigned>(std::min<std::size_t>(threads_, n));
+
+  cells_total_->set(static_cast<std::int64_t>(n));
+  std::unique_ptr<ProgressReporter> progress;
+  if (opt_.progress_interval > Duration::zero()) {
+    progress = std::make_unique<ProgressReporter>(
+        opt_.progress_interval,
+        opt_.progress_out ? *opt_.progress_out : std::cerr, n, *cells_done_,
+        cells_done_->value());
+  }
 
   // Per-task captured log text, flushed in submission order afterwards.
   std::vector<std::string> captured(opt_.capture_logs ? n : 0);
@@ -90,6 +170,7 @@ void SweepRunner::run_jobs(std::vector<std::function<void()>>&& jobs) {
       std::lock_guard<std::mutex> lock(error_mu);
       if (!first_error) first_error = std::current_exception();
     }
+    cells_done_->inc();
   };
 
   if (workers == 1) {
@@ -132,10 +213,49 @@ void SweepRunner::run_jobs(std::vector<std::function<void()>>&& jobs) {
     for (auto& t : pool) t.join();
   }
 
+  progress.reset();  // final stop before logs flush, so lines don't mix
   if (opt_.capture_logs) {
     for (const auto& text : captured) log_write_raw(text);
   }
   if (first_error) std::rethrow_exception(first_error);
+}
+
+namespace {
+
+SweepShard parse_shard_spec(const char* spec) {
+  char* end = nullptr;
+  unsigned long i = std::strtoul(spec, &end, 10);
+  if (end == spec || *end != '/') {
+    std::fprintf(stderr, "bad shard spec '%s': expected i/n (0-based)\n",
+                 spec);
+    std::exit(2);
+  }
+  const char* den = end + 1;
+  unsigned long n = std::strtoul(den, &end, 10);
+  if (end == den || *end != '\0' || n == 0 || i >= n) {
+    std::fprintf(stderr, "bad shard spec '%s': need 0 <= i < n\n", spec);
+    std::exit(2);
+  }
+  return SweepShard{static_cast<std::size_t>(i), static_cast<std::size_t>(n)};
+}
+
+}  // namespace
+
+SweepShard shard_from_args(int& argc, char** argv) {
+  SweepShard shard{};
+  if (const char* env = std::getenv("ILU_SHARD")) {
+    shard = parse_shard_spec(env);
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--shard") == 0 && i + 1 < argc) {
+      shard = parse_shard_spec(argv[i + 1]);
+      // Strip like threads_from_args: keep argv[argc] == nullptr intact.
+      for (int j = i; j + 2 <= argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      break;
+    }
+  }
+  return shard;
 }
 
 unsigned threads_from_args(int& argc, char** argv, unsigned fallback) {

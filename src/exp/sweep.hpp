@@ -7,6 +7,9 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "util/time.hpp"
+
 /// Parallel experiment sweep engine.
 ///
 /// The paper's trace-scale evaluation (Figs 4/5, the ablations) is a grid of
@@ -34,6 +37,12 @@ struct SweepOptions {
   unsigned threads = 0;
   /// Capture per-task log output and flush it in submission order.
   bool capture_logs = true;
+  /// Emit a progress line (cells done, cells/s, ETA) this often while a
+  /// grid runs; zero disables. Progress bypasses log capture, so long
+  /// sweeps stay observable even though task output is buffered.
+  Duration progress_interval{};
+  /// Progress destination; nullptr means std::cerr.
+  std::ostream* progress_out = nullptr;
 };
 
 class SweepRunner {
@@ -42,6 +51,12 @@ class SweepRunner {
 
   /// The resolved worker count (>= 1).
   unsigned threads() const { return threads_; }
+
+  /// Live sweep instrumentation: "sweep.cells_total" (gauge) and
+  /// "sweep.cells_done" (counter) for the current/last run_jobs call. The
+  /// progress reporter reads these; external dashboards can too.
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
 
   /// Run all jobs to completion (blocking). Jobs are claimed from
   /// per-worker deques with stealing, so imbalanced grids (one slow cell)
@@ -69,6 +84,9 @@ class SweepRunner {
  private:
   SweepOptions opt_;
   unsigned threads_ = 1;
+  MetricsRegistry metrics_;
+  Counter* cells_done_ = nullptr;
+  Gauge* cells_total_ = nullptr;
 };
 
 /// Strip a `--threads N` flag from argv (any position) and return N; when
@@ -78,5 +96,33 @@ class SweepRunner {
 /// main()'s nullptr terminator at argv[argc]; it is preserved when the
 /// flag is stripped.
 unsigned threads_from_args(int& argc, char** argv, unsigned fallback = 0);
+
+/// A machine's slice of a grid that is being split across machines:
+/// this process owns every cell index i with i % count == index.
+struct SweepShard {
+  std::size_t index = 0;
+  std::size_t count = 1;
+
+  bool selects(std::size_t cell) const { return cell % count == index; }
+
+  /// Keep only this shard's cells (in order). Apply to the task list
+  /// *before* SweepRunner::run so every machine builds the same full grid
+  /// and the union of all shards' outputs is exactly the unsharded sweep.
+  template <typename T>
+  std::vector<T> filter(std::vector<T> cells) const {
+    if (count <= 1) return cells;
+    std::vector<T> mine;
+    mine.reserve(cells.size() / count + 1);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (selects(i)) mine.push_back(std::move(cells[i]));
+    }
+    return mine;
+  }
+};
+
+/// Strip a `--shard i/n` flag from argv (any position, 0-based i < n) and
+/// return the shard; when absent, consult ILU_SHARD; when neither is set,
+/// return the full grid {0, 1}. Malformed specs abort with a message.
+SweepShard shard_from_args(int& argc, char** argv);
 
 }  // namespace ilu::exp

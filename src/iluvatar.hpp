@@ -5,7 +5,8 @@
 ///
 /// Layered exactly as DESIGN.md describes:
 ///   runtime/   deterministic (SimRuntime) and wall-clock (RealRuntime)
-///              execution engines + latency models
+///              execution engines, the time-parallel ShardedRuntime
+///              (conservative-window synchronization), + latency models
 ///   trace/     workloads: FunctionBench profiles, the Azure trace model,
 ///              load generators, trace I/O
 ///   containers container records, backends (containerd/docker/crun/null
@@ -53,6 +54,7 @@
 #include "queueing/queue_policy.hpp"
 #include "queueing/regulator.hpp"
 #include "runtime/real_runtime.hpp"
+#include "runtime/sharded_runtime.hpp"
 #include "runtime/sim_runtime.hpp"
 #include "trace/azure.hpp"
 #include "trace/function_profile.hpp"

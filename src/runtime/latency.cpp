@@ -43,6 +43,13 @@ LatencyModel LatencyModel::spiky(LatencyModel base, double p,
   return m;
 }
 
+LatencyModel LatencyModel::shifted(Duration floor, LatencyModel base) {
+  assert(floor >= Duration::zero());
+  LatencyModel m(Kind::Shifted, static_cast<double>(floor.count()), 0);
+  m.base_ = std::make_shared<const LatencyModel>(std::move(base));
+  return m;
+}
+
 Duration LatencyModel::sample(Rng& rng) const {
   switch (kind_) {
     case Kind::Zero:
@@ -64,6 +71,8 @@ Duration LatencyModel::sample(Rng& rng) const {
       if (rng.bernoulli(spike_p_)) v += spike_->sample(rng);
       return v;
     }
+    case Kind::Shifted:
+      return Duration{static_cast<std::int64_t>(a_)} + base_->sample(rng);
   }
   return Duration::zero();
 }
@@ -88,6 +97,27 @@ Duration LatencyModel::mean() const {
       return base_->mean() +
              Duration{static_cast<std::int64_t>(
                  spike_p_ * static_cast<double>(spike_->mean().count()))};
+    case Kind::Shifted:
+      return Duration{static_cast<std::int64_t>(a_)} + base_->mean();
+  }
+  return Duration::zero();
+}
+
+Duration LatencyModel::lower_bound() const {
+  switch (kind_) {
+    case Kind::Zero:
+    case Kind::Normal:     // clamped at 0
+    case Kind::LogNormal:  // support (0, inf), infimum 0
+      return Duration::zero();
+    case Kind::Constant:
+      return Duration{static_cast<std::int64_t>(a_)};
+    case Kind::Uniform:
+      return Duration{static_cast<std::int64_t>(a_)};
+    case Kind::Spiky:
+      // The spike only ever adds latency.
+      return base_->lower_bound();
+    case Kind::Shifted:
+      return Duration{static_cast<std::int64_t>(a_)} + base_->lower_bound();
   }
   return Duration::zero();
 }

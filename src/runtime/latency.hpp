@@ -29,6 +29,12 @@ class LatencyModel {
   /// models GC pauses / lock-convoy stalls.
   static LatencyModel spiky(LatencyModel base, double p, LatencyModel spike);
 
+  /// `floor + base`: a hard minimum (serialization + wire + interrupt
+  /// latency that no sample can undercut) plus a jitter distribution. The
+  /// floor shows up in lower_bound(), which conservative parallel
+  /// simulation uses as cross-shard lookahead.
+  static LatencyModel shifted(Duration floor, LatencyModel base);
+
   /// Draw one latency sample.
   Duration sample(Rng& rng) const;
 
@@ -36,19 +42,23 @@ class LatencyModel {
   /// capacity math).
   Duration mean() const;
 
+  /// Infimum of the support: no sample is ever below this. Zero for the
+  /// unbounded shapes (normal, lognormal); the floor for shifted models.
+  Duration lower_bound() const;
+
   LatencyModel() : LatencyModel(zero()) {}
 
  private:
-  enum class Kind { Zero, Constant, Uniform, Normal, LogNormal, Spiky };
+  enum class Kind { Zero, Constant, Uniform, Normal, LogNormal, Spiky, Shifted };
 
   LatencyModel(Kind kind, double a, double b);
 
   Kind kind_;
   // Interpretation depends on kind: Constant{a=us}, Uniform{a=lo,b=hi},
-  // Normal{a=mean,b=sd}, LogNormal{a=median,b=sigma}.
+  // Normal{a=mean,b=sd}, LogNormal{a=median,b=sigma}, Shifted{a=floor_us}.
   double a_ = 0.0;
   double b_ = 0.0;
-  // Spiky composition.
+  // Spiky and Shifted composition.
   std::shared_ptr<const LatencyModel> base_;
   std::shared_ptr<const LatencyModel> spike_;
   double spike_p_ = 0.0;

@@ -1,0 +1,171 @@
+#include "runtime/sharded_runtime.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <thread>
+
+namespace ilu {
+
+namespace {
+
+constexpr std::int64_t kIdle = std::numeric_limits<std::int64_t>::max();
+
+/// Sense-reversing spin barrier. Windows are short (often a handful of
+/// events per shard), so a futex-parked barrier would dominate the loop;
+/// this one completes in a few hundred ns when all threads are running, and
+/// degrades to yielding when the host is oversubscribed (1-core CI).
+/// Synchronization: every arrival is an acq_rel RMW on count_, the last
+/// arrival publishes through an acq_rel RMW on gen_, and waiters acquire
+/// gen_ — so all writes made before the barrier are visible after it.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(unsigned n) : n_(n) {}
+
+  void arrive_and_wait() {
+    std::uint64_t gen = gen_.load(std::memory_order_acquire);
+    if (count_.fetch_add(1, std::memory_order_acq_rel) + 1 == n_) {
+      count_.store(0, std::memory_order_relaxed);
+      gen_.fetch_add(1, std::memory_order_acq_rel);
+    } else {
+      int spins = 0;
+      while (gen_.load(std::memory_order_acquire) == gen) {
+        if (++spins > 4096) std::this_thread::yield();
+      }
+    }
+  }
+
+ private:
+  unsigned n_;
+  std::atomic<unsigned> count_{0};
+  std::atomic<std::uint64_t> gen_{0};
+};
+
+std::int64_t horizon_of(const SimRuntime& rt) {
+  auto d = rt.next_deadline();
+  return d ? d->count() : kIdle;
+}
+
+}  // namespace
+
+ShardedRuntime::ShardedRuntime(std::size_t shards, Duration lookahead)
+    : lookahead_(lookahead) {
+  assert(shards >= 1);
+  assert(lookahead_ > Duration::zero() &&
+         "conservative windows need strictly positive lookahead");
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<SimRuntime>());
+  }
+  outbox_.resize(shards * shards);
+  scratch_.resize(shards);
+  horizon_ = std::vector<std::atomic<std::int64_t>>(shards);
+  delivered_.assign(shards, 0);
+}
+
+void ShardedRuntime::send(std::size_t src, std::size_t dst, TimePoint at,
+                          std::uint64_t tag, Task fn) {
+  assert(src < shards_.size() && dst < shards_.size());
+  assert(at >= shards_[src]->now() + lookahead_ &&
+         "cross-shard send violates the lookahead promise");
+  if (src == dst) {
+    // Same event loop: deliver directly, with the identical (at, tag)
+    // ordering key a mailbox delivery would use.
+    shards_[dst]->schedule_tagged(at, tag, std::move(fn));
+    return;
+  }
+  outbox_[src * shards_.size() + dst].push_back(Msg{at, tag, std::move(fn)});
+}
+
+void ShardedRuntime::merge_inbox(std::size_t dst) {
+  const std::size_t s = shards_.size();
+  auto& in = scratch_[dst];
+  in.clear();
+  for (std::size_t src = 0; src < s; ++src) {
+    auto& box = outbox_[src * s + dst];
+    for (auto& m : box) in.push_back(std::move(m));
+    box.clear();
+  }
+  if (in.empty()) return;
+  std::sort(in.begin(), in.end(), [](const Msg& a, const Msg& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.tag < b.tag;
+  });
+  for (auto& m : in) {
+    shards_[dst]->schedule_tagged(m.at, m.tag, std::move(m.fn));
+  }
+  delivered_[dst] += in.size();
+  in.clear();
+}
+
+void ShardedRuntime::run_windows(TimePoint limit) {
+  const std::size_t s = shards_.size();
+  const std::int64_t limit_us = limit.count();
+  const std::int64_t cap_us = limit_us == kIdle ? kIdle : limit_us + 1;
+  const std::int64_t look_us = lookahead_.count();
+  SpinBarrier barrier(static_cast<unsigned>(s));
+
+  auto loop = [&](std::size_t me) {
+    SimRuntime& rt = *shards_[me];
+    for (;;) {
+      // Merge BEFORE publishing the horizon: messages parked in the inbox
+      // (sent during the previous window, or before run() even started)
+      // must count toward this shard's next deadline, or a shard whose
+      // only work arrives by mail would report idle and stall the window
+      // computation. Between the trailing barrier and this point no shard
+      // is executing events, so the outboxes are stable.
+      merge_inbox(me);
+      horizon_[me].store(horizon_of(rt), std::memory_order_relaxed);
+      barrier.arrive_and_wait();  // all merges done, horizons stable
+      // Every thread computes the same window from the published horizons,
+      // so they all agree on both the bound and on when to stop.
+      std::int64_t tmin = kIdle;
+      for (auto& h : horizon_) {
+        tmin = std::min(tmin, h.load(std::memory_order_relaxed));
+      }
+      if (tmin == kIdle || tmin > limit_us) break;
+      TimePoint w{std::min(tmin + look_us, cap_us)};
+      rt.run_before(w);
+      if (me == 0) ++windows_;
+      barrier.arrive_and_wait();  // all outboxes complete
+    }
+    if (limit_us != kIdle) rt.run_until(limit);
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(s - 1);
+  for (std::size_t i = 1; i < s; ++i) threads.emplace_back(loop, i);
+  loop(0);
+  for (auto& t : threads) t.join();
+}
+
+void ShardedRuntime::run_until(TimePoint t) {
+  if (shards_.size() == 1) {
+    shards_[0]->run_until(t);
+    return;
+  }
+  run_windows(t);
+}
+
+void ShardedRuntime::run() {
+  if (shards_.size() == 1) {
+    shards_[0]->run();
+    return;
+  }
+  run_windows(TimePoint{kIdle});
+}
+
+bool ShardedRuntime::idle() const {
+  for (const auto& rt : shards_) {
+    if (rt->next_deadline()) return false;
+  }
+  return true;
+}
+
+std::uint64_t ShardedRuntime::messages() const {
+  std::uint64_t total = 0;
+  for (auto d : delivered_) total += d;
+  return total;
+}
+
+}  // namespace ilu

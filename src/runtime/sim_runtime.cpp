@@ -7,7 +7,15 @@ namespace ilu {
 
 Runtime::TimerId SimRuntime::schedule(Duration delay, Task fn) {
   assert(delay >= Duration::zero());
-  return encode(heap_.push(EventKey{now_ + delay, next_seq_++}, std::move(fn)));
+  return encode(heap_.push(EventKey{now_ + delay, kTagBand | next_seq_++},
+                           std::move(fn)));
+}
+
+Runtime::TimerId SimRuntime::schedule_tagged(TimePoint at, std::uint64_t tag,
+                                             Task fn) {
+  assert(at >= now_);
+  assert(tag < kTagBand);
+  return encode(heap_.push(EventKey{at, tag}, std::move(fn)));
 }
 
 bool SimRuntime::cancel(TimerId id) {
@@ -42,6 +50,13 @@ void SimRuntime::run_until(TimePoint t) {
     fire_next();
   }
   if (now_ < t) now_ = t;
+}
+
+void SimRuntime::run_before(TimePoint t) {
+  for (const EventKey* k = peek(); k != nullptr && k->deadline < t;
+       k = peek()) {
+    fire_next();
+  }
 }
 
 }  // namespace ilu

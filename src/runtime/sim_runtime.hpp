@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "runtime/indexed_heap.hpp"
 #include "runtime/runtime.hpp"
@@ -18,6 +19,14 @@
 ///    handle — no tombstone set, so a cancel after the timer fired is
 ///    detected exactly (returns false) and pending() is always the real
 ///    number of queued events.
+///
+/// Events scheduled with schedule() tie-break at equal deadlines by
+/// scheduling order. schedule_tagged() places an event in a *lower* sequence
+/// band keyed by a caller-supplied tag: at equal deadlines, tagged events
+/// run before plain ones, ordered among themselves by tag. ShardedRuntime
+/// uses this for cross-shard message delivery, whose ordering must be a pure
+/// function of (deliver time, sender, sender sequence) — independent of the
+/// scheduling interleaving, which differs between shard counts.
 namespace ilu {
 
 class SimRuntime final : public Runtime {
@@ -27,6 +36,12 @@ class SimRuntime final : public Runtime {
   TimePoint now() const override { return now_; }
   TimerId schedule(Duration delay, Task fn) override;
   bool cancel(TimerId id) override;
+
+  /// Schedule at an absolute deadline `at` (>= now) with an explicit
+  /// tie-break tag (< kTagBand, unique per (at, tag) by the caller's
+  /// construction). At equal deadlines, tagged events run before plain
+  /// schedule()d ones and in ascending tag order.
+  TimerId schedule_tagged(TimePoint at, std::uint64_t tag, Task fn);
 
   /// Execute the next event, advancing virtual time to its deadline.
   /// Returns false when no events remain.
@@ -38,8 +53,21 @@ class SimRuntime final : public Runtime {
   /// Run events with deadline <= t, then advance time to exactly t.
   void run_until(TimePoint t);
 
+  /// Run events with deadline strictly < t. Unlike run_until, does NOT
+  /// advance the clock to t: time stops at the last fired deadline, so
+  /// events delivered later at >= t still satisfy schedule_tagged's
+  /// `at >= now` precondition. This is the conservative-window primitive
+  /// used by ShardedRuntime.
+  void run_before(TimePoint t);
+
   /// Run for a further `d` of virtual time.
   void run_for(Duration d) { run_until(now_ + d); }
+
+  /// Deadline of the earliest pending event, if any.
+  std::optional<TimePoint> next_deadline() const {
+    const EventKey* k = peek();
+    return k ? std::optional<TimePoint>(k->deadline) : std::nullopt;
+  }
 
   /// Number of pending (non-cancelled) events. Exact: cancellation removes
   /// the event immediately.
@@ -47,6 +75,11 @@ class SimRuntime final : public Runtime {
 
   /// Total events executed so far (for engine micro-benchmarks).
   std::uint64_t events_processed() const { return processed_; }
+
+  /// Tags passed to schedule_tagged must be below this band; plain
+  /// schedule() events carry kTagBand | n and therefore always lose ties
+  /// against tagged deliveries at the same deadline.
+  static constexpr std::uint64_t kTagBand = 1ull << 63;
 
  private:
   struct EventKey {

@@ -81,53 +81,88 @@ double AzureTraceModel::diurnal(double minute_of_day) const {
                             (minute_of_day - 360.0) / 1440.0);
 }
 
-Trace AzureTraceModel::build_trace(const std::vector<std::size_t>& fn_indices,
-                                   double rate_scale) const {
-  assert(rate_scale > 0.0);
-  Trace t;
-  t.duration = secs(cfg_.days * 86400.0);
+namespace {
+
+/// Minute-bucket generation per function, then the paper's replay rule:
+/// a single invocation lands at the start of the minute; k invocations are
+/// equally spaced across it. Storage-agnostic — `emit(at, fi)` sees events
+/// in function-major order, so the AoS and arena paths below draw RNG
+/// identically and produce the same event multiset.
+template <typename Emit>
+void generate_bucketed(const AzureTraceModel& model,
+                       const std::vector<std::size_t>& fn_indices,
+                       double rate_scale, Emit&& emit) {
+  const AzureModelConfig& cfg = model.config();
   const auto num_minutes =
-      static_cast<std::size_t>(std::llround(cfg_.days * 1440.0));
-
-  t.functions.reserve(fn_indices.size());
-  for (std::size_t idx : fn_indices) {
-    const AzureFunctionMeta& m = pop_.at(idx);
-    FunctionProfile p;
-    p.name = "azure_fn_" + std::to_string(idx);
-    p.mem_mb = m.mem_mb;
-    p.warm_time = secs(m.warm_s);
-    p.init_time = secs(m.init_s);
-    t.functions.push_back(std::move(p));
-  }
-
-  // Minute-bucket generation per function, then the paper's replay rule:
-  // a single invocation lands at the start of the minute; k invocations are
-  // equally spaced across it.
-  Rng rng = Rng(cfg_.seed).substream(0x7ace);
+      static_cast<std::size_t>(std::llround(cfg.days * 1440.0));
+  Rng rng = Rng(cfg.seed).substream(0x7ace);
   for (std::size_t fi = 0; fi < fn_indices.size(); ++fi) {
-    const AzureFunctionMeta& m = pop_[fn_indices[fi]];
+    const AzureFunctionMeta& m = model.population()[fn_indices[fi]];
     Rng frng = rng.substream(fn_indices[fi]);
     const double per_min_rate = rate_scale * 60.0 / m.mean_iat_s;
     for (std::size_t minute = 0; minute < num_minutes; ++minute) {
       auto mod = static_cast<double>(minute % 1440);
-      double lambda = per_min_rate * diurnal(mod) * activity(m, mod);
+      double lambda = per_min_rate * model.diurnal(mod) * model.activity(m, mod);
       std::uint64_t k = frng.poisson(lambda);
       if (k == 0) continue;
       double minute_start_s = static_cast<double>(minute) * 60.0;
       double spacing_s = 60.0 / static_cast<double>(k);
       for (std::uint64_t j = 0; j < k; ++j) {
-        t.events.push_back(TraceEvent{
-            secs(minute_start_s + spacing_s * static_cast<double>(j)),
-            static_cast<FunctionId>(fi)});
+        emit(secs(minute_start_s + spacing_s * static_cast<double>(j)),
+             static_cast<FunctionId>(fi));
       }
     }
   }
+}
 
+std::vector<FunctionProfile> profiles_for(
+    const AzureTraceModel& model, const std::vector<std::size_t>& fn_indices) {
+  std::vector<FunctionProfile> out;
+  out.reserve(fn_indices.size());
+  for (std::size_t idx : fn_indices) {
+    const AzureFunctionMeta& m = model.population().at(idx);
+    FunctionProfile p;
+    p.name = "azure_fn_" + std::to_string(idx);
+    p.mem_mb = m.mem_mb;
+    p.warm_time = secs(m.warm_s);
+    p.init_time = secs(m.init_s);
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace
+
+Trace AzureTraceModel::build_trace(const std::vector<std::size_t>& fn_indices,
+                                   double rate_scale) const {
+  assert(rate_scale > 0.0);
+  Trace t;
+  t.duration = secs(cfg_.days * 86400.0);
+  t.functions = profiles_for(*this, fn_indices);
+  generate_bucketed(*this, fn_indices, rate_scale,
+                    [&](TimePoint at, FunctionId fn) {
+                      t.events.push_back(TraceEvent{at, fn});
+                    });
   std::stable_sort(t.events.begin(), t.events.end(),
                    [](const TraceEvent& a, const TraceEvent& b) {
                      return a.at < b.at;
                    });
   return t;
+}
+
+TraceArena AzureTraceModel::build_arena(
+    const std::vector<std::size_t>& fn_indices, double rate_scale) const {
+  assert(rate_scale > 0.0);
+  TraceArena a;
+  a.duration = secs(cfg_.days * 86400.0);
+  a.functions = profiles_for(*this, fn_indices);
+  std::vector<std::uint64_t> keys;
+  generate_bucketed(*this, fn_indices, rate_scale,
+                    [&](TimePoint at, FunctionId fn) {
+                      keys.push_back(TraceArena::pack(at, fn));
+                    });
+  a.adopt_keys(keys);
+  return a;
 }
 
 std::vector<std::size_t> AzureTraceModel::indices_sorted_by_popularity()
@@ -143,19 +178,33 @@ std::vector<std::size_t> AzureTraceModel::indices_sorted_by_popularity()
 namespace {
 /// Two-pass load adjustment: generate at natural rate, then rescale so the
 /// trace hits the requested request rate (the paper scales function IAT
-/// CDFs to reach a suitable load for the system under test).
+/// CDFs to reach a suitable load for the system under test). The rescale
+/// factor is events / duration in both storage modes, so the Trace and
+/// arena samplers regenerate with bit-identical rate_scale.
+double rescale_for(double target_rps, std::size_t events, Duration duration) {
+  if (target_rps <= 0.0 || events == 0) return 0.0;
+  double natural_rps = static_cast<double>(events) / to_sec(duration);
+  return natural_rps > 0.0 ? target_rps / natural_rps : 0.0;
+}
+
 Trace with_target_rps(const AzureTraceModel& model,
                       const std::vector<std::size_t>& indices,
                       double target_rps) {
   Trace natural = model.build_trace(indices);
-  if (target_rps <= 0.0) return natural;
-  double natural_rps = natural.stats().reqs_per_sec;
-  if (natural_rps <= 0.0) return natural;
-  return model.build_trace(indices, target_rps / natural_rps);
+  double s = rescale_for(target_rps, natural.events.size(), natural.duration);
+  return s > 0.0 ? model.build_trace(indices, s) : natural;
+}
+
+TraceArena with_target_rps_arena(const AzureTraceModel& model,
+                                 const std::vector<std::size_t>& indices,
+                                 double target_rps) {
+  TraceArena natural = model.build_arena(indices);
+  double s = rescale_for(target_rps, natural.size(), natural.duration);
+  return s > 0.0 ? model.build_arena(indices, s) : natural;
 }
 }  // namespace
 
-Trace AzureTraceModel::sample_rare(std::size_t n, double target_rps) const {
+std::vector<std::size_t> AzureTraceModel::pick_rare(std::size_t n) const {
   n = std::min(n, pop_.size());
   // The paper: "a random sample of 1000 of the rarest, most infrequently
   // invoked functions — these will usually result in cold starts under a
@@ -171,11 +220,11 @@ Trace AzureTraceModel::sample_rare(std::size_t n, double target_rps) const {
   Rng rng = Rng(cfg_.seed).substream(0x2a2e);
   rng.shuffle(eligible);
   if (eligible.size() > n) eligible.resize(n);
-  return with_target_rps(*this, eligible, target_rps);
+  return eligible;
 }
 
-Trace AzureTraceModel::sample_representative(std::size_t n,
-                                             double target_rps) const {
+std::vector<std::size_t> AzureTraceModel::pick_representative(
+    std::size_t n) const {
   n = std::min(n, pop_.size());
   auto sorted = indices_sorted_by_popularity();
   // Stratified: n/4 uniformly from each popularity quartile.
@@ -191,10 +240,10 @@ Trace AzureTraceModel::sample_representative(std::size_t n,
       chosen.push_back(sorted[lo + rng.uniform_index(hi - lo)]);
     }
   }
-  return with_target_rps(*this, chosen, target_rps);
+  return chosen;
 }
 
-Trace AzureTraceModel::sample_random(std::size_t n, double target_rps) const {
+std::vector<std::size_t> AzureTraceModel::pick_random(std::size_t n) const {
   n = std::min(n, pop_.size());
   Rng rng = Rng(cfg_.seed).substream(0xd0e);
   std::vector<std::size_t> chosen;
@@ -207,7 +256,35 @@ Trace AzureTraceModel::sample_random(std::size_t n, double target_rps) const {
       chosen.push_back(i);
     }
   }
-  return with_target_rps(*this, chosen, target_rps);
+  return chosen;
+}
+
+Trace AzureTraceModel::sample_rare(std::size_t n, double target_rps) const {
+  return with_target_rps(*this, pick_rare(n), target_rps);
+}
+
+Trace AzureTraceModel::sample_representative(std::size_t n,
+                                             double target_rps) const {
+  return with_target_rps(*this, pick_representative(n), target_rps);
+}
+
+Trace AzureTraceModel::sample_random(std::size_t n, double target_rps) const {
+  return with_target_rps(*this, pick_random(n), target_rps);
+}
+
+TraceArena AzureTraceModel::sample_rare_arena(std::size_t n,
+                                              double target_rps) const {
+  return with_target_rps_arena(*this, pick_rare(n), target_rps);
+}
+
+TraceArena AzureTraceModel::sample_representative_arena(
+    std::size_t n, double target_rps) const {
+  return with_target_rps_arena(*this, pick_representative(n), target_rps);
+}
+
+TraceArena AzureTraceModel::sample_random_arena(std::size_t n,
+                                                double target_rps) const {
+  return with_target_rps_arena(*this, pick_random(n), target_rps);
 }
 
 std::vector<double> AzureTraceModel::full_trace_rps_by_minute() const {

@@ -113,9 +113,20 @@ class AzureTraceModel {
   Trace sample_representative(std::size_t n, double target_rps = 0.0) const;
   Trace sample_random(std::size_t n, double target_rps = 0.0) const;
 
+  /// Arena (SoA) variants of the samplers: identical function choice, RNG
+  /// draws, and event order as the Trace versions, generated straight into
+  /// a flat arena — the fast path for populations of tens of thousands.
+  TraceArena sample_rare_arena(std::size_t n, double target_rps = 0.0) const;
+  TraceArena sample_representative_arena(std::size_t n,
+                                         double target_rps = 0.0) const;
+  TraceArena sample_random_arena(std::size_t n, double target_rps = 0.0) const;
+
   /// Build a trace for an explicit set of population indices.
   Trace build_trace(const std::vector<std::size_t>& fn_indices,
                     double rate_scale = 1.0) const;
+  /// SoA counterpart of build_trace (same events, same order).
+  TraceArena build_arena(const std::vector<std::size_t>& fn_indices,
+                         double rate_scale = 1.0) const;
 
   /// Expected invocations/second for each minute of the full (unsampled)
   /// trace — the appendix "whole trace" timeseries. One Poisson draw per
@@ -131,6 +142,10 @@ class AzureTraceModel {
 
  private:
   std::vector<std::size_t> indices_sorted_by_popularity() const;
+  /// Deterministic index selection shared by the Trace and arena samplers.
+  std::vector<std::size_t> pick_rare(std::size_t n) const;
+  std::vector<std::size_t> pick_representative(std::size_t n) const;
+  std::vector<std::size_t> pick_random(std::size_t n) const;
 
   AzureModelConfig cfg_;
   std::vector<AzureFunctionMeta> pop_;

@@ -9,23 +9,35 @@ OpenLoopDriver::OpenLoopDriver(Runtime& rt, InvokeFn invoke)
     : rt_(rt), invoke_(std::move(invoke)) {}
 
 void OpenLoopDriver::start(const Trace& trace) {
-  assert(trace_ == nullptr && "driver already started");
-  trace_ = &trace;
+  assert(ev_ == nullptr && at_us_ == nullptr && "driver already started");
+  ev_ = trace.events.data();
+  count_ = trace.events.size();
+  begin();
+}
+
+void OpenLoopDriver::start(const TraceArena& arena) {
+  assert(ev_ == nullptr && at_us_ == nullptr && "driver already started");
+  at_us_ = arena.at_us.data();
+  fn_ = arena.fn.data();
+  count_ = arena.size();
+  begin();
+}
+
+void OpenLoopDriver::begin() {
   epoch_ = rt_.now();
-  results_.reserve(trace.events.size());
-  if (trace.events.empty()) {
+  results_.reserve(count_);
+  if (count_ == 0) {
     submitted_all_ = true;
     return;
   }
-  rt_.schedule(trace.events.front().at, [this] { pump(); });
+  rt_.schedule(event_at(0), [this] { pump(); });
 }
 
 void OpenLoopDriver::pump() {
   // Submit every event due now, then re-arm a single timer for the next.
-  const auto& events = trace_->events;
   TimePoint now = rt_.now() - epoch_;
-  while (next_ < events.size() && events[next_].at <= now) {
-    FunctionId fn = events[next_].fn;
+  while (next_ < count_ && event_at(next_) <= now) {
+    FunctionId fn = event_fn(next_);
     ++next_;
     ++outstanding_;
     invoke_(fn, [this](const InvokeResult& r) {
@@ -33,8 +45,8 @@ void OpenLoopDriver::pump() {
       --outstanding_;
     });
   }
-  if (next_ < events.size()) {
-    rt_.schedule(events[next_].at - now, [this] { pump(); });
+  if (next_ < count_) {
+    rt_.schedule(event_at(next_) - now, [this] { pump(); });
   } else {
     submitted_all_ = true;
   }
@@ -68,20 +80,24 @@ void ClosedLoopDriver::client_loop(std::size_t remaining) {
   });
 }
 
-Trace make_synthetic_trace(const std::vector<SyntheticFunctionSpec>& specs,
-                           Duration duration, std::uint64_t seed) {
+namespace {
+
+/// The synthetic arrival-process generator, independent of event storage:
+/// `emit(at, fn)` receives every event in function-major order. Both the
+/// AoS and the arena paths draw RNG through this one loop, so they produce
+/// the same event multiset by construction.
+template <typename Emit>
+void generate_synthetic(const std::vector<SyntheticFunctionSpec>& specs,
+                        Duration duration, std::uint64_t seed, Emit&& emit) {
   assert(duration > Duration::zero());
-  Trace t;
-  t.duration = duration;
   Rng rng(seed);
   for (std::size_t i = 0; i < specs.size(); ++i) {
     const auto& spec = specs[i];
     assert(spec.mean_iat > Duration::zero());
-    t.functions.push_back(spec.profile);
     Rng frng = rng.substream(i);
     TimePoint at = spec.phase;
     while (at < duration) {
-      t.events.push_back(TraceEvent{at, static_cast<FunctionId>(i)});
+      emit(at, static_cast<FunctionId>(i));
       Duration gap =
           spec.exponential
               ? secs(frng.exponential(to_sec(spec.mean_iat)))
@@ -91,11 +107,36 @@ Trace make_synthetic_trace(const std::vector<SyntheticFunctionSpec>& specs,
       at += gap;
     }
   }
+}
+
+}  // namespace
+
+Trace make_synthetic_trace(const std::vector<SyntheticFunctionSpec>& specs,
+                           Duration duration, std::uint64_t seed) {
+  Trace t;
+  t.duration = duration;
+  for (const auto& spec : specs) t.functions.push_back(spec.profile);
+  generate_synthetic(specs, duration, seed, [&](TimePoint at, FunctionId fn) {
+    t.events.push_back(TraceEvent{at, fn});
+  });
   std::stable_sort(t.events.begin(), t.events.end(),
                    [](const TraceEvent& a, const TraceEvent& b) {
                      return a.at < b.at;
                    });
   return t;
+}
+
+TraceArena make_synthetic_arena(const std::vector<SyntheticFunctionSpec>& specs,
+                                Duration duration, std::uint64_t seed) {
+  TraceArena a;
+  a.duration = duration;
+  for (const auto& spec : specs) a.functions.push_back(spec.profile);
+  std::vector<std::uint64_t> keys;
+  generate_synthetic(specs, duration, seed, [&](TimePoint at, FunctionId fn) {
+    keys.push_back(TraceArena::pack(at, fn));
+  });
+  a.adopt_keys(keys);
+  return a;
 }
 
 Trace make_cyclic_trace(const std::vector<FunctionProfile>& profiles,

@@ -20,15 +20,17 @@ namespace ilu {
 using InvokeFn =
     std::function<void(FunctionId, std::function<void(const InvokeResult&)>)>;
 
-/// Replays a Trace open-loop: invocation i is submitted at trace time
+/// Replays a workload open-loop: invocation i is submitted at trace time
 /// events[i].at relative to start(). Uses O(1) outstanding timers by
-/// chaining to the next event.
+/// chaining to the next event. Accepts either an AoS Trace or a SoA
+/// TraceArena; the arena path streams the two flat columns directly.
 class OpenLoopDriver {
  public:
   OpenLoopDriver(Runtime& rt, InvokeFn invoke);
 
-  /// Begin replay. The trace must outlive the driver's run.
+  /// Begin replay. The trace/arena must outlive the driver's run.
   void start(const Trace& trace);
+  void start(const TraceArena& arena);
 
   bool done() const { return submitted_all_ && outstanding_ == 0; }
   std::size_t submitted() const { return next_; }
@@ -37,11 +39,20 @@ class OpenLoopDriver {
   std::vector<InvokeResult>& mutable_results() { return results_; }
 
  private:
+  void begin();
   void pump();
+  TimePoint event_at(std::size_t i) const {
+    return ev_ ? ev_[i].at : Duration{at_us_[i]};
+  }
+  FunctionId event_fn(std::size_t i) const { return ev_ ? ev_[i].fn : fn_[i]; }
 
   Runtime& rt_;
   InvokeFn invoke_;
-  const Trace* trace_ = nullptr;
+  /// Exactly one replay source is set: AoS events, or the arena columns.
+  const TraceEvent* ev_ = nullptr;
+  const std::int64_t* at_us_ = nullptr;
+  const FunctionId* fn_ = nullptr;
+  std::size_t count_ = 0;
   TimePoint epoch_{};
   std::size_t next_ = 0;
   std::size_t outstanding_ = 0;
@@ -88,6 +99,12 @@ struct SyntheticFunctionSpec {
 /// Merge per-function arrival processes into one sorted trace.
 Trace make_synthetic_trace(const std::vector<SyntheticFunctionSpec>& specs,
                            Duration duration, std::uint64_t seed = 1);
+
+/// Same workload as make_synthetic_trace (identical RNG draws, identical
+/// event order) generated straight into a flat SoA arena — the fast path
+/// for large function grids.
+TraceArena make_synthetic_arena(const std::vector<SyntheticFunctionSpec>& specs,
+                                Duration duration, std::uint64_t seed = 1);
 
 /// Cyclic access pattern: functions are invoked in rotation, one every
 /// `gap` (Fig 6's "cyclic" skewed workload).

@@ -1,6 +1,7 @@
 #include "trace/workload.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 
 namespace ilu {
@@ -57,6 +58,37 @@ bool Trace::valid() const {
   return std::all_of(events.begin(), events.end(), [&](const TraceEvent& e) {
     return e.fn < functions.size();
   });
+}
+
+std::uint64_t TraceArena::pack(TimePoint at, FunctionId fn) {
+  const std::int64_t us = at.count();
+  assert(us >= 0 && us <= kMaxUs && "event time out of packed-key range");
+  assert(fn <= kMaxFn && "function id out of packed-key range");
+  return (static_cast<std::uint64_t>(us) << kFnBits) |
+         static_cast<std::uint64_t>(fn);
+}
+
+void TraceArena::adopt_keys(std::vector<std::uint64_t>& keys) {
+  std::sort(keys.begin(), keys.end());
+  at_us.clear();
+  fn.clear();
+  at_us.reserve(keys.size());
+  fn.reserve(keys.size());
+  for (std::uint64_t k : keys) {
+    at_us.push_back(static_cast<std::int64_t>(k >> kFnBits));
+    fn.push_back(static_cast<FunctionId>(k & kMaxFn));
+  }
+}
+
+Trace TraceArena::to_trace() const {
+  Trace t;
+  t.functions = functions;
+  t.duration = duration;
+  t.events.reserve(size());
+  for (std::size_t i = 0; i < size(); ++i) {
+    t.events.push_back(TraceEvent{Duration{at_us[i]}, fn[i]});
+  }
+  return t;
 }
 
 }  // namespace ilu

@@ -161,6 +161,67 @@ TEST(SyntheticTrace, MergesMultipleFunctionsSorted) {
   EXPECT_TRUE(saw_both);
 }
 
+TEST(TraceArena, PackRoundTripsAndSortsLikeStableSort) {
+  auto profiles = function_bench();
+  profiles.resize(4);
+  std::vector<SyntheticFunctionSpec> specs;
+  for (const auto& p : profiles) {
+    specs.push_back({.profile = p, .mean_iat = secs(0.5), .exponential = true});
+  }
+  auto trace = make_synthetic_trace(specs, secs(30), 7);
+  auto arena = make_synthetic_arena(specs, secs(30), 7);
+
+  ASSERT_EQ(arena.size(), trace.events.size());
+  for (std::size_t i = 0; i < arena.size(); ++i) {
+    EXPECT_EQ(arena.at(i), trace.events[i].at) << "event " << i;
+    EXPECT_EQ(arena.fn[i], trace.events[i].fn) << "event " << i;
+  }
+  EXPECT_EQ(arena.functions.size(), trace.functions.size());
+  EXPECT_EQ(arena.duration, trace.duration);
+}
+
+TEST(TraceArena, ToTraceMaterializesIdenticalEvents) {
+  auto profiles = function_bench();
+  profiles.resize(3);
+  std::vector<SyntheticFunctionSpec> specs;
+  for (const auto& p : profiles) {
+    specs.push_back({.profile = p, .mean_iat = secs(1.0), .exponential = true});
+  }
+  auto trace = make_synthetic_trace(specs, secs(20), 11);
+  auto round = make_synthetic_arena(specs, secs(20), 11).to_trace();
+  ASSERT_EQ(round.events.size(), trace.events.size());
+  for (std::size_t i = 0; i < round.events.size(); ++i) {
+    EXPECT_EQ(round.events[i].at, trace.events[i].at);
+    EXPECT_EQ(round.events[i].fn, trace.events[i].fn);
+  }
+  EXPECT_TRUE(round.valid());
+}
+
+TEST(OpenLoopDriver, ArenaReplayMatchesTraceReplay) {
+  auto profiles = function_bench();
+  profiles.resize(3);
+  std::vector<SyntheticFunctionSpec> specs;
+  for (const auto& p : profiles) {
+    specs.push_back({.profile = p, .mean_iat = secs(0.8), .exponential = true});
+  }
+  auto trace = make_synthetic_trace(specs, secs(15), 5);
+  auto arena = make_synthetic_arena(specs, secs(15), 5);
+
+  auto replay = [](auto&& start) {
+    SimRuntime rt;
+    std::vector<TimePoint> submits;
+    OpenLoopDriver d(rt, instant_invoker(rt, &submits));
+    start(d);
+    rt.run();
+    EXPECT_TRUE(d.done());
+    return submits;
+  };
+  auto from_trace = replay([&](OpenLoopDriver& d) { d.start(trace); });
+  auto from_arena = replay([&](OpenLoopDriver& d) { d.start(arena); });
+  ASSERT_EQ(from_trace.size(), trace.events.size());
+  EXPECT_EQ(from_arena, from_trace);
+}
+
 TEST(CyclicTrace, RotatesThroughFunctions) {
   auto profiles = function_bench();
   profiles.resize(3);

@@ -1,0 +1,135 @@
+#include "runtime/sharded_runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ilu {
+namespace {
+
+constexpr Duration kLook = usecs(100);
+
+TEST(ShardedRuntime, SingleShardForwardsToSimRuntime) {
+  ShardedRuntime srt(1, kLook);
+  std::vector<int> order;
+  srt.shard(0).schedule(msecs(2), [&] { order.push_back(2); });
+  srt.shard(0).schedule(msecs(1), [&] { order.push_back(1); });
+  srt.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(srt.now(), msecs(2));
+  EXPECT_EQ(srt.windows(), 0u);  // fast path: no window machinery at all
+  EXPECT_EQ(srt.messages(), 0u);
+  EXPECT_TRUE(srt.idle());
+}
+
+// The determinism keystone: deliveries at the same instant execute in tag
+// order — regardless of which shard sent them or when they were merged —
+// and strictly before any plain-scheduled local event at that instant.
+TEST(ShardedRuntime, MailboxOrdersByTagThenBeforeLocalEvents) {
+  ShardedRuntime srt(2, kLook);
+  std::vector<std::string> order;
+  const TimePoint at = msecs(1);
+
+  srt.shard(1).schedule(at, [&] { order.push_back("local"); });
+  srt.send(0, 1, at, /*tag=*/7, Task([&] { order.push_back("tag7"); }));
+  srt.send(1, 1, at, /*tag=*/3, Task([&] { order.push_back("tag3"); }));
+  srt.send(0, 1, at, /*tag=*/5, Task([&] { order.push_back("tag5"); }));
+  srt.run();
+
+  EXPECT_EQ(order, (std::vector<std::string>{"tag3", "tag5", "tag7", "local"}));
+  // Only the 0->1 messages cross shards; 1->1 is delivered directly.
+  EXPECT_EQ(srt.messages(), 2u);
+}
+
+TEST(ShardedRuntime, PingPongPreservesCausality) {
+  ShardedRuntime srt(2, kLook);
+  std::vector<TimePoint> arrivals;
+  std::uint64_t seq = 0;
+  // Volley between the shards: each delivery sends the ball back with
+  // exactly the lookahead latency. 20 hops => last arrival at 20 * kLook.
+  std::function<void(std::size_t, int)> volley = [&](std::size_t me,
+                                                     int remaining) {
+    arrivals.push_back(srt.shard(me).now());
+    if (remaining == 0) return;
+    std::size_t peer = 1 - me;
+    srt.send(me, peer, srt.shard(me).now() + kLook, seq++,
+             Task([&, peer, remaining] { volley(peer, remaining - 1); }));
+  };
+  srt.shard(0).schedule(Duration::zero(), [&] { volley(0, 20); });
+  srt.run();
+
+  ASSERT_EQ(arrivals.size(), 21u);
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    EXPECT_EQ(arrivals[i], kLook * static_cast<std::int64_t>(i));
+  }
+  EXPECT_EQ(srt.messages(), 20u);
+  EXPECT_GT(srt.windows(), 0u);
+  EXPECT_TRUE(srt.idle());
+}
+
+TEST(ShardedRuntime, RunUntilAdvancesEveryShardClock) {
+  ShardedRuntime srt(3, kLook);
+  srt.shard(2).schedule(msecs(5), [] {});
+  srt.run_until(msecs(50));
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(srt.shard(s).now(), msecs(50));
+  }
+}
+
+// Same logical system at different shard counts must execute identically.
+// Actors 1..N live on shard a % S and report to actor 0 (shard 0) with
+// deterministic tags; the arrival log on shard 0 is the witness.
+std::vector<std::string> run_actor_system(std::size_t shards) {
+  constexpr std::size_t kActors = 5;
+  ShardedRuntime srt(shards, kLook);
+  auto shard_of = [&](std::size_t actor) { return actor % srt.shards(); };
+  std::vector<std::string> log;
+  std::vector<std::uint64_t> seq(kActors + 1, 0);
+  auto tag = [&](std::size_t sender) {
+    return seq[sender]++ * (kActors + 1) + sender;
+  };
+
+  // Actor 0 fans out one message per actor per round; every actor replies
+  // after a fixed think time. Identical (deliver_at, tag) keys at any S.
+  for (int round = 0; round < 4; ++round) {
+    TimePoint fan = msecs(10) * (round + 1);
+    for (std::size_t a = 1; a <= kActors; ++a) {
+      srt.send(0, shard_of(a), fan + kLook, tag(0), Task([&, a] {
+                 std::size_t me = shard_of(a);
+                 srt.send(me, 0, srt.shard(me).now() + kLook, tag(a),
+                          Task([&, a] {
+                            log.push_back("reply" + std::to_string(a) + "@" +
+                                          std::to_string(srt.now().count()));
+                          }));
+               }));
+    }
+  }
+  srt.run();
+  return log;
+}
+
+TEST(ShardedRuntime, ShardCountDoesNotChangeExecution) {
+  auto serial = run_actor_system(1);
+  EXPECT_EQ(serial.size(), 20u);
+  EXPECT_EQ(run_actor_system(2), serial);
+  EXPECT_EQ(run_actor_system(3), serial);
+  EXPECT_EQ(run_actor_system(5), serial);
+  EXPECT_EQ(run_actor_system(8), serial);
+}
+
+TEST(ShardedRuntime, RunForRepeatedCallsAccumulate) {
+  ShardedRuntime srt(2, kLook);
+  int fired = 0;
+  srt.shard(1).schedule(msecs(30), [&] { ++fired; });
+  srt.run_for(msecs(20));
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(srt.now(), msecs(20));
+  srt.run_for(msecs(20));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(srt.now(), msecs(40));
+}
+
+}  // namespace
+}  // namespace ilu

@@ -193,5 +193,52 @@ TEST(SimRuntime, RecursiveChainTerminates) {
   EXPECT_EQ(rt.now(), usecs(999));
 }
 
+TEST(SimRuntime, TaggedEventsOrderBeforePlainAndByTag) {
+  SimRuntime rt;
+  std::vector<int> order;
+  // Plain events first chronologically-in-insertion, then tagged ones out
+  // of tag order: execution must be tag 1, tag 4, then the plain pair.
+  rt.schedule(msecs(1), [&] { order.push_back(100); });
+  rt.schedule(msecs(1), [&] { order.push_back(101); });
+  rt.schedule_tagged(msecs(1), 4, [&] { order.push_back(4); });
+  rt.schedule_tagged(msecs(1), 1, [&] { order.push_back(1); });
+  rt.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 4, 100, 101}));
+}
+
+TEST(SimRuntime, TaggedEventsCancelable) {
+  SimRuntime rt;
+  bool fired = false;
+  auto id = rt.schedule_tagged(msecs(1), 9, [&] { fired = true; });
+  EXPECT_TRUE(rt.cancel(id));
+  rt.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimRuntime, RunBeforeFiresStrictlyEarlierWithoutAdvancingClock) {
+  SimRuntime rt;
+  std::vector<int> order;
+  rt.schedule(msecs(1), [&] { order.push_back(1); });
+  rt.schedule(msecs(2), [&] { order.push_back(2); });
+  rt.schedule(msecs(3), [&] { order.push_back(3); });
+  rt.run_before(msecs(3));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  // now() sits at the last fired event, NOT the bound: a tagged insertion
+  // at exactly the bound must still satisfy the at >= now precondition.
+  EXPECT_EQ(rt.now(), msecs(2));
+  rt.schedule_tagged(msecs(3), 0, [&] { order.push_back(30); });
+  rt.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 30, 3}));
+}
+
+TEST(SimRuntime, NextDeadlinePeeksWithoutExecuting) {
+  SimRuntime rt;
+  EXPECT_FALSE(rt.next_deadline().has_value());
+  rt.schedule(msecs(7), [] {});
+  ASSERT_TRUE(rt.next_deadline().has_value());
+  EXPECT_EQ(*rt.next_deadline(), msecs(7));
+  EXPECT_EQ(rt.now(), Duration::zero());
+}
+
 }  // namespace
 }  // namespace ilu
