@@ -15,7 +15,8 @@
 // pool_acquire_return_ops_per_sec}, trace_gen:{functions, events,
 // aos_events_per_sec, arena_events_per_sec}, cluster_scaling:{shards,
 // completed, wall_s_serial, wall_s_sharded, speedup, equivalent},
-// fig4_sweep:{cells, threads, wall_s_1thread, wall_s_nthreads, speedup}}]}.
+// fig4_sweep:{cells, threads, wall_s_1thread, wall_s_nthreads, speedup},
+// lint:{files, findings, wall_s}}]}.
 // Fields are only ever added, never renamed, so downstream tooling can diff
 // runs across PRs. Note: on a 1-core CI host cluster_scaling.speedup < 1 by
 // construction (barriers with no parallel hardware); `equivalent` is the
@@ -30,6 +31,7 @@
 #include <thread>
 
 #include "bench_util.hpp"
+#include "lint/lint.hpp"
 #include "util/json.hpp"
 
 namespace {
@@ -346,6 +348,24 @@ std::string utc_now_string() {
   return buf;
 }
 
+/// ilu-lint over the real tree: the checker rides in every ctest run, so its
+/// wall time is itself a perf budget worth tracking across PRs.
+struct LintTiming {
+  std::size_t files = 0;
+  std::size_t findings = 0;
+  double wall_s = 0.0;
+};
+
+LintTiming lint_tree_timing() {
+  LintTiming out;
+  auto t0 = Clock::now();
+  auto findings =
+      lint::lint_tree(std::string(ILU_SOURCE_DIR) + "/src", &out.files);
+  out.wall_s = seconds_since(t0);
+  out.findings = findings.size();
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -405,6 +425,11 @@ int main(int argc, char** argv) {
               "", sweep.wall_s_nthreads);
   std::printf("%-36s %12.2fx\n", "fig4 sweep speedup", sweep.speedup);
 
+  auto lt = lint_tree_timing();
+  std::printf("%-36s %12zu files, %zu finding(s)\n", "ilu-lint src/ sweep",
+              lt.files, lt.findings);
+  std::printf("%-36s %12.3f s\n", "ilu-lint wall", lt.wall_s);
+
   // Append this run to the trajectory file (create if absent).
   JsonObject run;
   run["label"] = label;
@@ -440,6 +465,11 @@ int main(int argc, char** argv) {
   fig4["wall_s_nthreads"] = sweep.wall_s_nthreads;
   fig4["speedup"] = sweep.speedup;
   run["fig4_sweep"] = fig4;
+  JsonObject lint_rec;
+  lint_rec["files"] = static_cast<std::uint64_t>(lt.files);
+  lint_rec["findings"] = static_cast<std::uint64_t>(lt.findings);
+  lint_rec["wall_s"] = lt.wall_s;
+  run["lint"] = lint_rec;
 
   JsonObject doc;
   JsonArray runs;

@@ -77,7 +77,7 @@ void CpuModel::recompute_and_schedule() {
 void CpuModel::on_completion_event() {
   completion_timer_ = Runtime::kInvalidTimer;
   advance();
-  std::vector<std::function<void()>> done;
+  std::vector<Runtime::Task> done;
   for (auto it = tasks_.begin(); it != tasks_.end();) {
     if (it->second.remaining <= kWorkEpsilon) {
       done.push_back(std::move(it->second.on_complete));
@@ -96,11 +96,11 @@ void CpuModel::on_completion_event() {
 }
 
 CpuModel::TaskId CpuModel::submit(double work_seconds, double weight,
-                                  std::function<void()> on_complete) {
+                                  Runtime::Task on_complete) {
   assert(work_seconds >= 0.0 && weight > 0.0);
   advance();
   TaskId id = next_id_++;
-  Task t;
+  RunningTask t;
   t.remaining = work_seconds;
   t.weight = weight;
   t.on_complete = std::move(on_complete);

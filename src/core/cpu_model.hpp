@@ -2,7 +2,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
+#include <map>
 
 #include "runtime/runtime.hpp"
 
@@ -33,7 +33,7 @@ class CpuModel {
   /// core-cap `weight` (> 0). `on_complete` fires (via the runtime) when the
   /// work is done; the elapsed wall time depends on contention.
   TaskId submit(double work_seconds, double weight,
-                std::function<void()> on_complete);
+                Runtime::Task on_complete);
 
   /// Abort a running task (no callback). Returns false if unknown.
   bool cancel(TaskId id);
@@ -53,16 +53,18 @@ class CpuModel {
   Duration estimate(double work_seconds, double weight) const;
 
   /// Observe every demand change (piecewise-constant between events); used
-  /// by the EnergyMeter for exact power integration.
+  /// by the EnergyMeter for exact power integration. Takes arguments and is
+  /// installed once per model, so it is not a Task candidate.
+  // ilu-lint: allow(std-function-hotpath) - set once at wiring time, never on the per-event path
   using DemandObserver = std::function<void(TimePoint, double)>;
   void set_demand_observer(DemandObserver obs) { observer_ = std::move(obs); }
 
  private:
-  struct Task {
+  struct RunningTask {
     double remaining = 0.0;  // core-seconds
     double weight = 1.0;
     double rate = 0.0;  // cores currently allocated
-    std::function<void()> on_complete;
+    Runtime::Task on_complete;
   };
 
   /// Advance all remaining-work counters to rt_.now().
@@ -77,7 +79,11 @@ class CpuModel {
   double cores_;
   double load_tau_;
 
-  std::unordered_map<TaskId, Task> tasks_;
+  /// Ordered by TaskId (= submission order): completion callbacks collected
+  /// while sweeping this map fire in a deterministic order, which an
+  /// unordered_map would leak hash-layout order into. Sweeps are O(running
+  /// tasks), a handful per worker, so the tree costs nothing measurable.
+  std::map<TaskId, RunningTask> tasks_;
   TaskId next_id_ = 1;
   double total_weight_ = 0.0;
   TimePoint last_advance_{};

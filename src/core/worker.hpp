@@ -88,6 +88,7 @@ struct WorkerConfig {
 
 class Worker {
  public:
+  // ilu-lint: allow(std-function-hotpath) - result callback takes an argument and is copied into retry paths; not a nullary Task
   using InvokeCb = std::function<void(const InvokeResult&)>;
   using AsyncToken = std::uint64_t;
 
@@ -115,6 +116,7 @@ class Worker {
   std::optional<InvokeResult> async_result(AsyncToken token);
 
   /// Start a warm container ahead of demand (§4.2 prewarm).
+  // ilu-lint: allow(std-function-hotpath) - optional bool-taking callback with a default-empty state; prewarms are rare control events
   void prewarm(FunctionId fn, std::function<void(bool)> cb = {});
 
   /// Load/status view used by the load balancer (§4.1): queue length is the

@@ -1,7 +1,10 @@
 #include "obs/tracer.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <unordered_map>
+
+#include "util/dcheck.hpp"
 
 namespace ilu {
 
@@ -9,8 +12,33 @@ namespace {
 std::atomic<std::uint64_t> g_tracer_uid{0};
 
 /// Per-thread stack of open ScopedSpans (shared across tracers: nesting is a
-/// property of the thread's call stack, not of any one tracer).
-thread_local std::vector<SpanId> t_span_stack;
+/// property of the thread's call stack, not of any one tracer). The name is
+/// the ScopedSpan's static string, kept so debug-check failures can say what
+/// the thread was doing (see span_dcheck_context below).
+struct OpenSpan {
+  SpanId id = kNoSpan;
+  const char* name = nullptr;
+};
+thread_local std::vector<OpenSpan> t_span_stack;
+
+/// ILU_DCHECK context provider: report the innermost open span on the
+/// failing thread, so an ownership-auditor abort names the operation (e.g.
+/// "invoke") instead of just a file:line deep in the runtime.
+void span_dcheck_context(char* buf, std::size_t n) {
+  if (t_span_stack.empty()) return;
+  const OpenSpan& s = t_span_stack.back();
+  std::snprintf(buf, n, "%s #%llu, depth %zu",
+                s.name != nullptr ? s.name : "?",
+                static_cast<unsigned long long>(s.id), t_span_stack.size());
+}
+
+/// Registered at static-initialization time, before any simulation threads
+/// exist (the hook contract in util/dcheck.hpp).
+const struct DcheckContextRegistrar {
+  DcheckContextRegistrar() {
+    detail::g_dcheck_context = &span_dcheck_context;
+  }
+} g_dcheck_context_registrar;
 }  // namespace
 
 TransactionTracer::TransactionTracer(bool enabled,
@@ -127,8 +155,8 @@ ScopedSpan::ScopedSpan(TransactionTracer& tracer, Runtime& rt,
     : tracer_(tracer), rt_(rt), tx_(tx), name_(name) {
   if (!tracer_.enabled()) return;
   id_ = tracer_.next_span_id();
-  parent_ = t_span_stack.empty() ? kNoSpan : t_span_stack.back();
-  t_span_stack.push_back(id_);
+  parent_ = t_span_stack.empty() ? kNoSpan : t_span_stack.back().id;
+  t_span_stack.push_back(OpenSpan{id_, name});
   start_ = rt_.now();
 }
 

@@ -1,11 +1,11 @@
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <string>
 
 #include "common/types.hpp"
 #include "core/characteristics.hpp"
+#include "runtime/task.hpp"
 
 /// Invocation queue disciplines (§5.2). Priorities are computed from the
 /// per-function learned characteristics; the invocation with the *lowest*
@@ -13,12 +13,15 @@
 namespace ilu {
 
 /// An invocation waiting in the worker's queue. `dispatch` is the
-/// continuation that actually runs it (bound by the worker).
+/// continuation that actually runs it (bound by the worker). Task (not
+/// std::function) keeps the queue hot path allocation-free: the worker's
+/// dispatch capture fits Task's inline buffer, and heap push/pop only ever
+/// move it.
 struct QueueItem {
   FunctionId fn = 0;
   TimePoint arrival{};
   std::uint64_t seq = 0;
-  std::function<void()> dispatch;
+  Task dispatch;
 };
 
 class QueuePolicy {

@@ -66,6 +66,10 @@ ShardedRuntime::ShardedRuntime(std::size_t shards, Duration lookahead)
 void ShardedRuntime::send(std::size_t src, std::size_t dst, TimePoint at,
                           std::uint64_t tag, Task fn) {
   assert(src < shards_.size() && dst < shards_.size());
+  // send() must run on src's owning thread (its window thread during a run,
+  // the driver otherwise) — that confinement is what makes the outbox rows
+  // single-writer.
+  ILU_ASSERT_OWNER(shards_[src]->owner(), "ShardedRuntime::send");
   assert(at >= shards_[src]->now() + lookahead_ &&
          "cross-shard send violates the lookahead promise");
   if (src == dst) {
@@ -107,6 +111,10 @@ void ShardedRuntime::run_windows(TimePoint limit) {
 
   auto loop = [&](std::size_t me) {
     SimRuntime& rt = *shards_[me];
+    // Window threads own their shard for the duration of the run; the
+    // spawning of this thread (resp. the call into run_windows for shard 0)
+    // synchronizes the handoff from the previous owner.
+    rt.bind_owner();
     for (;;) {
       // Merge BEFORE publishing the horizon: messages parked in the inbox
       // (sent during the previous window, or before run() even started)
@@ -137,10 +145,17 @@ void ShardedRuntime::run_windows(TimePoint limit) {
   for (std::size_t i = 1; i < s; ++i) threads.emplace_back(loop, i);
   loop(0);
   for (auto& t : threads) t.join();
+  // Ownership returns to the driver thread (the joins synchronize): after a
+  // run the caller may inspect clocks and schedule follow-up work on any
+  // shard from its own thread.
+  for (auto& sh : shards_) sh->bind_owner();
 }
 
 void ShardedRuntime::run_until(TimePoint t) {
   if (shards_.size() == 1) {
+    // Entry through the sharded API is an ownership handoff, matching the
+    // N-shard path where run_windows binds shards to window threads.
+    shards_[0]->bind_owner();
     shards_[0]->run_until(t);
     return;
   }
@@ -149,6 +164,7 @@ void ShardedRuntime::run_until(TimePoint t) {
 
 void ShardedRuntime::run() {
   if (shards_.size() == 1) {
+    shards_[0]->bind_owner();
     shards_[0]->run();
     return;
   }

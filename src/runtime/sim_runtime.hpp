@@ -5,6 +5,7 @@
 
 #include "runtime/indexed_heap.hpp"
 #include "runtime/runtime.hpp"
+#include "util/dcheck.hpp"
 
 /// Deterministic discrete-event runtime.
 ///
@@ -27,13 +28,25 @@
 /// uses this for cross-shard message delivery, whose ordering must be a pure
 /// function of (deliver time, sender, sender sequence) — independent of the
 /// scheduling interleaving, which differs between shard counts.
+///
+/// Thread confinement: a SimRuntime is owned by exactly one thread at a
+/// time — the one that constructed it, until bind_owner() hands it off
+/// (ShardedRuntime rebinds shards to their window threads and back to the
+/// driver around every run). In debug builds (DESIGN.md §10) every
+/// schedule/cancel/now/run access asserts it runs on the owner thread, so a
+/// cross-shard data race aborts deterministically instead of relying on
+/// TSan to observe the interleaving; Release builds compile the auditor out
+/// entirely.
 namespace ilu {
 
 class SimRuntime final : public Runtime {
  public:
   SimRuntime() = default;
 
-  TimePoint now() const override { return now_; }
+  TimePoint now() const override {
+    ILU_ASSERT_OWNER(owner_, "SimRuntime::now");
+    return now_;
+  }
   TimerId schedule(Duration delay, Task fn) override;
   bool cancel(TimerId id) override;
 
@@ -81,6 +94,15 @@ class SimRuntime final : public Runtime {
   /// against tagged deliveries at the same deadline.
   static constexpr std::uint64_t kTagBand = 1ull << 63;
 
+  /// Hand ownership of this runtime to the calling thread (debug-build
+  /// ownership auditing; no-op in Release). Callers must externally
+  /// synchronize the handoff — ShardedRuntime does so with its window
+  /// barriers and thread joins.
+  void bind_owner() noexcept { owner_.bind(); }
+  /// The ownership auditor, for callers (ShardedRuntime::send) that assert
+  /// confinement on behalf of this runtime.
+  const OwnerRecord& owner() const noexcept { return owner_; }
+
  private:
   struct EventKey {
     TimePoint deadline;
@@ -114,6 +136,8 @@ class SimRuntime final : public Runtime {
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
   Heap heap_;
+  /// Debug-build shard-ownership auditor (empty in Release).
+  [[no_unique_address]] OwnerRecord owner_;
 };
 
 }  // namespace ilu

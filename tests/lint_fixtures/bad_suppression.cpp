@@ -1,0 +1,11 @@
+// Fixture: malformed suppressions are themselves findings (and do NOT
+// suppress anything).
+#include <chrono>
+
+long fixture_bad_suppression() {
+  // ilu-lint: allow(wall-clock)
+  auto a = std::chrono::steady_clock::now();  // still a finding: no reason given
+  // ilu-lint: allow(no-such-check) - unknown check names are rejected
+  auto b = std::chrono::system_clock::now();
+  return a.time_since_epoch().count() + b.time_since_epoch().count();
+}

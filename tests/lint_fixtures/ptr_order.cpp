@@ -1,0 +1,16 @@
+// Fixture: ptr-order must fire on ordered containers keyed by raw pointers
+// (addresses vary run to run, so iteration order escapes determinism).
+#include <map>
+#include <set>
+
+struct Node {};
+
+int fixture_ptr_order() {
+  std::set<Node*> by_addr;                 // finding
+  std::map<const Node*, int> weights;      // finding
+  std::multiset<int*> multi;               // finding
+  std::set<int> fine_by_value;             // no finding
+  std::map<long, Node*> ptr_values_ok;     // no finding (pointer is mapped value)
+  return static_cast<int>(by_addr.size() + weights.size() + multi.size() +
+                          fine_by_value.size() + ptr_values_ok.size());
+}

@@ -1,0 +1,11 @@
+// Fixture: pointer-keyed sets are legal when the order never escapes (e.g. a
+// membership-only registry) and the annotation says so.
+#include <set>
+
+struct Node {};
+
+int fixture_ptr_order_suppressed() {
+  // ilu-lint: allow(ptr-order) - membership test only, never iterated
+  std::set<Node*> registry;
+  return static_cast<int>(registry.size());
+}

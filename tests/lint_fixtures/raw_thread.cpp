@@ -1,0 +1,15 @@
+// Fixture: raw-thread must fire on concurrency primitives in sim code.
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+int fixture_raw_thread() {
+  std::atomic<int> counter{0};             // finding
+  std::mutex mu;                           // finding
+  std::thread worker([&] { counter.fetch_add(1); });  // finding
+  {
+    std::lock_guard<std::mutex> lk(mu);    // finding (std::mutex template arg)
+  }
+  worker.join();
+  return counter.load();
+}

@@ -1,0 +1,8 @@
+// Fixture: a reasoned allow() covering several checks in one annotation.
+#include <atomic>
+
+int fixture_raw_thread_suppressed() {
+  // ilu-lint: allow(raw-thread,wall-clock) - fixture for the multi-check suppression form
+  std::atomic<int> counter{0};
+  return counter.load();
+}

@@ -1,0 +1,10 @@
+// Fixture: std-function-hotpath must fire on std::function in a hot-path
+// header (the test lints this under queueing/, runtime/, and core/).
+#pragma once
+
+#include <functional>
+
+struct FixtureQueueSlot {
+  std::function<void()> dispatch;          // finding
+  using Callback = std::function<int()>;   // finding
+};

@@ -1,0 +1,10 @@
+// Fixture: std::function survives in a hot-path header only with a reason
+// (argument-taking or copyable callbacks that Task cannot express).
+#pragma once
+
+#include <functional>
+
+struct FixtureObserverSlot {
+  // ilu-lint: allow(std-function-hotpath) - takes an argument; installed once, not per event
+  std::function<void(int)> observer;
+};

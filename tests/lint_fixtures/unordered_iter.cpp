@@ -1,0 +1,17 @@
+// Fixture: unordered-iter must fire on iteration over unordered containers.
+#include <unordered_map>
+#include <unordered_set>
+
+int fixture_unordered_iter() {
+  std::unordered_map<int, int> counts;
+  std::unordered_set<int> seen;
+  using Index = std::unordered_map<long, long>;
+  Index index;
+  int sum = 0;
+  for (auto& kv : counts) sum += kv.second;        // finding (range-for)
+  for (const int& v : seen) sum += v;              // finding (range-for)
+  for (auto it = index.begin(); it != index.end(); ++it) {  // finding (.begin)
+    sum += static_cast<int>(it->second);
+  }
+  return sum + static_cast<int>(counts.count(0));  // lookups stay legal
+}

@@ -1,0 +1,11 @@
+// Fixture: order-independent folds over unordered containers are legal when
+// annotated with the reason why the order cannot escape.
+#include <unordered_map>
+
+int fixture_unordered_iter_suppressed() {
+  std::unordered_map<int, int> counts;
+  int sum = 0;
+  // ilu-lint: allow(unordered-iter) - commutative sum, order cannot escape
+  for (auto& kv : counts) sum += kv.second;
+  return sum;
+}

@@ -1,0 +1,12 @@
+// Fixture: wall-clock must fire on ambient time/entropy reads.
+#include <chrono>
+#include <random>
+
+long fixture_wall_clock() {
+  auto a = std::chrono::steady_clock::now();   // finding
+  auto b = std::chrono::system_clock::now();   // finding
+  std::random_device rd;                       // finding
+  long t = time(nullptr);                      // finding
+  return a.time_since_epoch().count() + b.time_since_epoch().count() +
+         static_cast<long>(rd()) + t;
+}

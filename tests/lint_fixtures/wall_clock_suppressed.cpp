@@ -1,0 +1,9 @@
+// Fixture: identical violations, every one carrying a reasoned allow().
+#include <chrono>
+
+long fixture_wall_clock_suppressed() {
+  // ilu-lint: allow(wall-clock) - fixture exercising the suppression path
+  auto a = std::chrono::steady_clock::now();
+  auto b = std::chrono::system_clock::now();  // ilu-lint: allow(wall-clock) - same-line suppression form
+  return a.time_since_epoch().count() + b.time_since_epoch().count();
+}

@@ -1,0 +1,217 @@
+// Tests for ilu-lint (tools/lint): every check must fire on its fixture,
+// honor a reasoned allow() suppression, respect its path allowlist, and the
+// real tree must lint clean.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace {
+
+using ilu::lint::Finding;
+using ilu::lint::lint_file;
+using ilu::lint::lint_tree;
+
+std::string read_fixture(const std::string& name) {
+  std::ifstream in(std::string(ILU_LINT_FIXTURE_DIR) + "/" + name);
+  EXPECT_TRUE(in.good()) << "missing fixture " << name;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Lint fixture `name` as if it lived at `rel_path` under src/.
+std::vector<Finding> lint_fixture_at(const std::string& name,
+                                     const std::string& rel_path) {
+  ilu::lint::FileInput in;
+  in.rel_path = rel_path;
+  in.content = read_fixture(name);
+  return lint_file(in);
+}
+
+std::set<std::string> check_names(const std::vector<Finding>& fs) {
+  std::set<std::string> out;
+  for (const auto& f : fs) out.insert(f.check);
+  return out;
+}
+
+int count_check(const std::vector<Finding>& fs, const std::string& check) {
+  return static_cast<int>(std::count_if(
+      fs.begin(), fs.end(),
+      [&](const Finding& f) { return f.check == check; }));
+}
+
+TEST(IluLint, CatalogueListsAllChecks) {
+  std::set<std::string> names;
+  for (const auto& c : ilu::lint::checks()) names.insert(c.name);
+  EXPECT_EQ(names, (std::set<std::string>{
+                       "wall-clock", "unordered-iter", "ptr-order",
+                       "raw-thread", "std-function-hotpath"}));
+}
+
+// ---- wall-clock ----------------------------------------------------------
+
+TEST(IluLint, WallClockFires) {
+  auto fs = lint_fixture_at("wall_clock.cpp", "core/fixture.cpp");
+  EXPECT_EQ(count_check(fs, "wall-clock"), 4) << "clock::now x2, random_device, time()";
+  EXPECT_EQ(check_names(fs), std::set<std::string>{"wall-clock"});
+}
+
+TEST(IluLint, WallClockSuppressed) {
+  auto fs = lint_fixture_at("wall_clock_suppressed.cpp", "core/fixture.cpp");
+  EXPECT_TRUE(fs.empty()) << fs.size() << " unsuppressed finding(s)";
+}
+
+TEST(IluLint, WallClockAllowlistedPaths) {
+  // The real-time runtime, the RNG seed helper, the sweep driver, and the
+  // observability layer legitimately read the wall clock.
+  for (const char* path :
+       {"runtime/real_runtime.cpp", "util/rng.cpp", "exp/sweep.cpp",
+        "obs/metrics.cpp"}) {
+    auto fs = lint_fixture_at("wall_clock.cpp", path);
+    EXPECT_EQ(count_check(fs, "wall-clock"), 0) << "at " << path;
+  }
+}
+
+// ---- unordered-iter ------------------------------------------------------
+
+TEST(IluLint, UnorderedIterFires) {
+  auto fs = lint_fixture_at("unordered_iter.cpp", "core/fixture.cpp");
+  EXPECT_EQ(count_check(fs, "unordered-iter"), 3)
+      << "two range-fors plus one .begin() loop";
+}
+
+TEST(IluLint, UnorderedIterSuppressed) {
+  auto fs =
+      lint_fixture_at("unordered_iter_suppressed.cpp", "core/fixture.cpp");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(IluLint, UnorderedIterAllowlistedPaths) {
+  // Outside sim-reachable code (obs/, util/, exp/) iteration order feeds
+  // only diagnostics, so the check stays quiet.
+  for (const char* path :
+       {"obs/fixture.cpp", "util/fixture.cpp", "exp/fixture.cpp"}) {
+    auto fs = lint_fixture_at("unordered_iter.cpp", path);
+    EXPECT_EQ(count_check(fs, "unordered-iter"), 0) << "at " << path;
+  }
+}
+
+TEST(IluLint, UnorderedIterResolvesThroughPairedHeader) {
+  ilu::lint::FileInput in;
+  in.rel_path = "core/member.cpp";
+  in.paired_header =
+      "#include <unordered_map>\n"
+      "class C {\n"
+      "  std::unordered_map<int, int> by_id_;\n"
+      "};\n";
+  in.content =
+      "#include \"core/member.hpp\"\n"
+      "int C_sum(C& c) {\n"
+      "  int s = 0;\n"
+      "  for (auto& kv : by_id_) s += kv.second;\n"
+      "  return s;\n"
+      "}\n";
+  auto fs = lint_file(in);
+  EXPECT_EQ(count_check(fs, "unordered-iter"), 1)
+      << "member declared in the paired header must still resolve";
+}
+
+// ---- ptr-order -----------------------------------------------------------
+
+TEST(IluLint, PtrOrderFires) {
+  auto fs = lint_fixture_at("ptr_order.cpp", "core/fixture.cpp");
+  EXPECT_EQ(count_check(fs, "ptr-order"), 3)
+      << "set<Node*>, map<const Node*,..>, multiset<int*> — value-typed "
+         "containers stay clean";
+}
+
+TEST(IluLint, PtrOrderSuppressed) {
+  auto fs = lint_fixture_at("ptr_order_suppressed.cpp", "core/fixture.cpp");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(IluLint, PtrOrderHasNoAllowlistedPaths) {
+  // Pointer-keyed ordering is nondeterministic wherever it appears.
+  auto fs = lint_fixture_at("ptr_order.cpp", "obs/fixture.cpp");
+  EXPECT_EQ(count_check(fs, "ptr-order"), 3);
+}
+
+// ---- raw-thread ----------------------------------------------------------
+
+TEST(IluLint, RawThreadFires) {
+  auto fs = lint_fixture_at("raw_thread.cpp", "core/fixture.cpp");
+  EXPECT_GE(count_check(fs, "raw-thread"), 3)
+      << "atomic, mutex, thread (and the lock_guard's mutex argument)";
+}
+
+TEST(IluLint, RawThreadSuppressed) {
+  auto fs = lint_fixture_at("raw_thread_suppressed.cpp", "core/fixture.cpp");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(IluLint, RawThreadAllowlistedPaths) {
+  for (const char* path :
+       {"runtime/sharded_runtime.cpp", "exp/sweep.cpp", "obs/tracer.cpp",
+        "util/log.cpp", "util/dcheck.hpp"}) {
+    auto fs = lint_fixture_at("raw_thread.cpp", path);
+    EXPECT_EQ(count_check(fs, "raw-thread"), 0) << "at " << path;
+  }
+}
+
+// ---- std-function-hotpath ------------------------------------------------
+
+TEST(IluLint, StdFunctionHotpathFires) {
+  for (const char* path : {"runtime/fixture.hpp", "queueing/fixture.hpp",
+                           "core/fixture.hpp"}) {
+    auto fs = lint_fixture_at("std_function_hotpath.hpp", path);
+    EXPECT_EQ(count_check(fs, "std-function-hotpath"), 2) << "at " << path;
+  }
+}
+
+TEST(IluLint, StdFunctionHotpathSuppressed) {
+  auto fs = lint_fixture_at("std_function_hotpath_suppressed.hpp",
+                            "core/fixture.hpp");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(IluLint, StdFunctionHotpathScopedToHotHeaders) {
+  // Non-hot-path headers and .cpp files may use std::function freely.
+  for (const char* path : {"exp/fixture.hpp", "obs/fixture.hpp",
+                           "util/fixture.hpp", "core/fixture.cpp"}) {
+    auto fs = lint_fixture_at("std_function_hotpath.hpp", path);
+    EXPECT_EQ(count_check(fs, "std-function-hotpath"), 0) << "at " << path;
+  }
+}
+
+// ---- suppression grammar -------------------------------------------------
+
+TEST(IluLint, MalformedSuppressionIsItselfAFinding) {
+  auto fs = lint_fixture_at("bad_suppression.cpp", "core/fixture.cpp");
+  // Two malformed allow() comments + the wall-clock finding the first one
+  // failed to suppress (the second precedes a line whose finding it would
+  // not have matched anyway).
+  EXPECT_EQ(count_check(fs, "lint-suppression"), 2);
+  EXPECT_GE(count_check(fs, "wall-clock"), 1)
+      << "a malformed allow() must not suppress";
+}
+
+// ---- whole tree ----------------------------------------------------------
+
+TEST(IluLint, RealTreeIsClean) {
+  std::size_t files = 0;
+  auto fs = lint_tree(std::string(ILU_SOURCE_DIR) + "/src", &files);
+  EXPECT_GT(files, 50u) << "tree walk found suspiciously few files";
+  for (const auto& f : fs) {
+    ADD_FAILURE() << f.path << ":" << f.line << ": [" << f.check << "] "
+                  << f.message;
+  }
+}
+
+}  // namespace

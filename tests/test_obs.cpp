@@ -156,7 +156,9 @@ TEST(TransactionTracer, SpanTreeIntegrityUnderConcurrentRecording) {
     }
     ASSERT_NE(root, kNoSpan);
     for (auto* s : group) {
-      if (s->id != root) EXPECT_EQ(s->parent, root);
+      if (s->id != root) {
+        EXPECT_EQ(s->parent, root);
+      }
     }
   }
 

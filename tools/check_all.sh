@@ -1,0 +1,47 @@
+#!/bin/sh
+# Full correctness matrix (DESIGN.md §10): lint, warnings-as-errors, the
+# ownership auditor, and every sanitizer preset, each over the whole test
+# suite. CI entry point; expect ~10-20 minutes on a laptop.
+#
+# Usage: tools/check_all.sh [build-root]
+#   build-root defaults to ./build-matrix; one subdirectory per
+#   configuration is created (and reused) beneath it.
+set -eu
+
+repo=$(cd "$(dirname "$0")/.." && pwd)
+root=${1:-"$repo/build-matrix"}
+jobs=$(nproc 2>/dev/null || echo 4)
+
+run_config() {
+    name=$1
+    shift
+    dir="$root/$name"
+    echo "==> [$name] cmake $*"
+    cmake -B "$dir" -S "$repo" "$@" >"$dir.cmake.log" 2>&1 || {
+        cat "$dir.cmake.log"; exit 1; }
+    echo "==> [$name] build"
+    cmake --build "$dir" -j "$jobs" >"$dir.build.log" 2>&1 || {
+        tail -50 "$dir.build.log"; exit 1; }
+    echo "==> [$name] ctest"
+    (cd "$dir" && ctest -j "$jobs" --output-on-failure) || exit 1
+}
+
+mkdir -p "$root"
+
+# 1. Baseline RelWithDebInfo with -Werror: the tree must be warning-clean.
+#    This build also runs ilu_lint (a default-label ctest test) and the
+#    asan/ubsan engine smoke tests.
+run_config werror -DILU_WERROR=ON
+
+# 2. Debug ownership auditor over the full suite: every cross-thread access
+#    in any test would abort here.
+run_config debug-checks -DCMAKE_BUILD_TYPE=Debug -DILU_DEBUG_CHECKS=ON
+
+# 3. Sanitizer presets. TSan watches the sharded runtime's barriers and the
+#    observability spinlocks; ASan+UBSan cover the slab heap and Task SBO
+#    pointer gymnastics. UBSan runs with -fno-sanitize-recover=all, so any
+#    finding is a hard test failure.
+run_config tsan -DILU_SANITIZE=thread
+run_config asan-ubsan "-DILU_SANITIZE=address;undefined"
+
+echo "==> all configurations passed"

@@ -1,0 +1,552 @@
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string_view>
+
+#include "lint/lexer.hpp"
+#include "lint/lint.hpp"
+
+namespace ilu::lint {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+using NameSet = std::set<std::string, std::less<>>;
+
+bool is_id(const Token& t, std::string_view s) {
+  return t.kind == Tok::Identifier && t.text == s;
+}
+bool is_punct(const Token& t, std::string_view s) {
+  return t.kind == Tok::Punct && t.text == s;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+template <std::size_t N>
+bool in_any(std::string_view rel, const std::string_view (&prefixes)[N]) {
+  for (std::string_view p : prefixes) {
+    if (starts_with(rel, p)) return true;
+  }
+  return false;
+}
+
+/// Preceded by `std ::` — the qualification every flagged std name needs so
+/// that user types that merely share the name stay un-flagged.
+bool std_qualified(const Tokens& ts, std::size_t i) {
+  return i >= 2 && is_punct(ts[i - 1], "::") && is_id(ts[i - 2], "std");
+}
+
+/// From ts[i] == "<", return the index one past the matching ">", or
+/// ts.size() when unbalanced. Single-char puncts mean `>>` arrives as two
+/// tokens, so nested template argument lists balance naturally.
+std::size_t skip_template_args(const Tokens& ts, std::size_t i) {
+  int depth = 0;
+  for (; i < ts.size(); ++i) {
+    if (is_punct(ts[i], "<")) {
+      ++depth;
+    } else if (is_punct(ts[i], ">")) {
+      if (--depth == 0) return i + 1;
+    } else if (is_punct(ts[i], ";") || is_punct(ts[i], "{")) {
+      return ts.size();  // not actually a template argument list
+    }
+  }
+  return ts.size();
+}
+
+// ---------------------------------------------------------------------------
+// wall-clock
+// ---------------------------------------------------------------------------
+
+constexpr std::string_view kWallClockAllow[] = {
+    "util/rng.", "runtime/real_runtime.", "exp/sweep.cpp", "obs/"};
+
+bool is_clock_type(std::string_view id) {
+  return id == "steady_clock" || id == "system_clock" ||
+         id == "high_resolution_clock";
+}
+
+bool is_ambient_time_fn(std::string_view id) {
+  return id == "time" || id == "gettimeofday" || id == "clock_gettime" ||
+         id == "localtime" || id == "gmtime" || id == "mktime" ||
+         id == "rand" || id == "srand";
+}
+
+void check_wall_clock(const Tokens& ts, const std::string& rel,
+                      std::vector<Finding>& out) {
+  if (in_any(rel, kWallClockAllow)) return;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    if (ts[i].kind != Tok::Identifier) continue;
+    std::string_view id = ts[i].text;
+    if (is_clock_type(id) && i + 2 < ts.size() &&
+        is_punct(ts[i + 1], "::") && is_id(ts[i + 2], "now")) {
+      out.push_back({rel, ts[i].line, "wall-clock",
+                     "std::chrono::" + std::string(id) +
+                         "::now() reads the wall clock; sim code must take "
+                         "time from Runtime::now()"});
+      continue;
+    }
+    if (id == "random_device") {
+      out.push_back({rel, ts[i].line, "wall-clock",
+                     "std::random_device is ambient entropy; draw from the "
+                     "seeded util/rng.* generators instead"});
+      continue;
+    }
+    if (is_ambient_time_fn(id) && i + 1 < ts.size() &&
+        is_punct(ts[i + 1], "(")) {
+      // Flag free calls and std::-qualified calls only: `x.time(...)`,
+      // `Foo::time(...)`, and declarations `Duration time(...)` all have a
+      // disqualifying previous token.
+      bool flag = true;
+      if (i > 0) {
+        const Token& p = ts[i - 1];
+        if (p.kind == Tok::Identifier || is_punct(p, ".") ||
+            is_punct(p, "->")) {
+          flag = false;
+        } else if (is_punct(p, "::")) {
+          flag = i >= 2 && is_id(ts[i - 2], "std");
+        }
+      }
+      if (flag) {
+        out.push_back({rel, ts[i].line, "wall-clock",
+                       "`" + std::string(id) +
+                           "()` reads ambient wall-clock/entropy state "
+                           "outside the allowlisted real-time layers"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// unordered-iter
+// ---------------------------------------------------------------------------
+
+constexpr std::string_view kUnorderedIterExempt[] = {"obs/", "util/", "exp/"};
+
+bool is_unordered_name(std::string_view id) {
+  return id == "unordered_map" || id == "unordered_set" ||
+         id == "unordered_multimap" || id == "unordered_multiset";
+}
+
+/// Is ts[i] (an unordered container name) the target of a
+/// `using Alias = [std::]unordered_xxx<...>` definition? Returns the alias.
+std::string_view alias_being_defined(const Tokens& ts, std::size_t i) {
+  std::size_t eq = 0;
+  if (i >= 3 && is_punct(ts[i - 1], "::") && is_id(ts[i - 2], "std") &&
+      is_punct(ts[i - 3], "=")) {
+    eq = i - 3;
+  } else if (i >= 1 && is_punct(ts[i - 1], "=")) {
+    eq = i - 1;
+  } else {
+    return {};
+  }
+  if (eq >= 2 && ts[eq - 1].kind == Tok::Identifier &&
+      is_id(ts[eq - 2], "using")) {
+    return ts[eq - 1].text;
+  }
+  return {};
+}
+
+/// After a container type ends at ts[j], parse a declarator and record the
+/// declared variable name. Handles `const`, `&`, `*`, and stops on
+/// `::` (nested names like ...::iterator) or a function declaration
+/// (identifier followed by `(`).
+void record_declared_var(const Tokens& ts, std::size_t j, NameSet& vars) {
+  while (j < ts.size() &&
+         (is_id(ts[j], "const") || is_punct(ts[j], "&") ||
+          is_punct(ts[j], "*"))) {
+    ++j;
+  }
+  if (j + 1 >= ts.size() || ts[j].kind != Tok::Identifier) return;
+  const Token& next = ts[j + 1];
+  if (is_punct(next, ";") || is_punct(next, "=") || is_punct(next, "{") ||
+      is_punct(next, ",") || is_punct(next, ")") || is_punct(next, ":")) {
+    vars.insert(std::string(ts[j].text));
+  }
+}
+
+/// Collect names of variables whose declared type is an unordered container
+/// (directly or through a same-file `using` alias).
+void collect_unordered_decls(const Tokens& ts, NameSet& vars) {
+  NameSet aliases;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    if (ts[i].kind == Tok::Identifier && is_unordered_name(ts[i].text)) {
+      std::string_view alias = alias_being_defined(ts, i);
+      if (!alias.empty()) aliases.insert(std::string(alias));
+    }
+  }
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    if (ts[i].kind != Tok::Identifier) continue;
+    std::size_t j;
+    if (is_unordered_name(ts[i].text)) {
+      if (i + 1 >= ts.size() || !is_punct(ts[i + 1], "<")) continue;
+      j = skip_template_args(ts, i + 1);
+      if (!alias_being_defined(ts, i).empty()) continue;
+    } else if (aliases.count(ts[i].text) > 0) {
+      j = i + 1;
+      if (j < ts.size() && is_punct(ts[j], "<")) j = skip_template_args(ts, j);
+    } else {
+      continue;
+    }
+    record_declared_var(ts, j, vars);
+  }
+}
+
+void check_unordered_iter(const Tokens& ts, const std::string& rel,
+                          const NameSet& vars, std::vector<Finding>& out) {
+  if (in_any(rel, kUnorderedIterExempt)) return;
+  auto flag = [&](const Token& at, std::string_view var, const char* how) {
+    out.push_back({rel, at.line, "unordered-iter",
+                   std::string(how) + " over unordered container `" +
+                       std::string(var) +
+                       "`: iteration order may escape into event/callback "
+                       "order — use an ordered container or sort first"});
+  };
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    // `var.begin()` / cbegin / rbegin / crbegin — iterator-style loops.
+    if (ts[i].kind == Tok::Identifier && vars.count(ts[i].text) > 0 &&
+        i + 3 < ts.size() && is_punct(ts[i + 1], ".") &&
+        (is_id(ts[i + 2], "begin") || is_id(ts[i + 2], "cbegin") ||
+         is_id(ts[i + 2], "rbegin") || is_id(ts[i + 2], "crbegin")) &&
+        is_punct(ts[i + 3], "(")) {
+      flag(ts[i], ts[i].text, "iterator loop");
+      continue;
+    }
+    // Range-for whose range expression is exactly [this->]var.
+    if (!(is_id(ts[i], "for") && i + 1 < ts.size() &&
+          is_punct(ts[i + 1], "("))) {
+      continue;
+    }
+    int depth = 0;
+    std::size_t colon = 0, close = 0;
+    for (std::size_t j = i + 1; j < ts.size(); ++j) {
+      if (is_punct(ts[j], "(")) {
+        ++depth;
+      } else if (is_punct(ts[j], ")")) {
+        if (--depth == 0) {
+          close = j;
+          break;
+        }
+      } else if (depth == 1 && is_punct(ts[j], ":") && colon == 0) {
+        colon = j;
+      } else if (depth == 1 && is_punct(ts[j], ";")) {
+        colon = 0;  // classic for loop, not range-for
+        break;
+      }
+    }
+    if (colon == 0 || close == 0) continue;
+    std::size_t b = colon + 1;
+    if (b + 1 < close && is_id(ts[b], "this") && is_punct(ts[b + 1], "->")) {
+      b += 2;
+    }
+    if (close == b + 1 && ts[b].kind == Tok::Identifier &&
+        vars.count(ts[b].text) > 0) {
+      flag(ts[b], ts[b].text, "range-for");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ptr-order
+// ---------------------------------------------------------------------------
+
+bool is_ordered_assoc(std::string_view id) {
+  return id == "map" || id == "set" || id == "multimap" ||
+         id == "multiset";
+}
+
+void check_ptr_order(const Tokens& ts, const std::string& rel,
+                     std::vector<Finding>& out) {
+  for (std::size_t i = 0; i + 1 < ts.size(); ++i) {
+    if (ts[i].kind != Tok::Identifier || !is_punct(ts[i + 1], "<")) continue;
+    std::string_view id = ts[i].text;
+    bool assoc = is_ordered_assoc(id) && std_qualified(ts, i);
+    bool cmp = (id == "less" || id == "greater") && std_qualified(ts, i);
+    if (!assoc && !cmp) continue;
+    // Examine the first template argument: flag when its last token is `*`
+    // (a raw pointer key orders by address, which varies run to run).
+    int depth = 0;
+    std::size_t last = 0;
+    bool pointer_key = false;
+    for (std::size_t j = i + 1; j < ts.size(); ++j) {
+      if (is_punct(ts[j], "<")) {
+        ++depth;
+      } else if (is_punct(ts[j], ">")) {
+        if (--depth == 0) break;
+      } else if (depth == 1 && is_punct(ts[j], ",")) {
+        break;
+      } else if (is_punct(ts[j], ";") || is_punct(ts[j], "{")) {
+        break;  // `a < b` comparison, not a template argument list
+      }
+      if (depth >= 1 && !is_punct(ts[j], "<")) last = j;
+    }
+    if (last != 0 && is_punct(ts[last], "*")) pointer_key = true;
+    if (pointer_key) {
+      out.push_back(
+          {rel, ts[i].line, "ptr-order",
+           "std::" + std::string(id) +
+               " keyed by a raw pointer orders by address, which differs "
+               "between runs; key by a stable id instead"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// raw-thread
+// ---------------------------------------------------------------------------
+
+constexpr std::string_view kRawThreadAllow[] = {
+    "runtime/", "exp/", "obs/", "util/log.", "util/dcheck."};
+
+bool is_threading_name(std::string_view id) {
+  return id == "thread" || id == "jthread" || id == "mutex" ||
+         id == "recursive_mutex" || id == "shared_mutex" ||
+         id == "timed_mutex" || id == "recursive_timed_mutex" ||
+         id == "condition_variable" || id == "condition_variable_any" ||
+         id == "atomic" || id == "atomic_flag" || id == "atomic_ref" ||
+         id == "future" || id == "promise" || id == "async" ||
+         id == "packaged_task" || id == "barrier" || id == "latch" ||
+         id == "counting_semaphore" || id == "binary_semaphore" ||
+         id == "this_thread";
+}
+
+void check_raw_thread(const Tokens& ts, const std::string& rel,
+                      std::vector<Finding>& out) {
+  if (in_any(rel, kRawThreadAllow)) return;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    if (ts[i].kind != Tok::Identifier || !is_threading_name(ts[i].text)) {
+      continue;
+    }
+    if (!std_qualified(ts, i)) continue;
+    out.push_back({rel, ts[i].line, "raw-thread",
+                   "std::" + std::string(ts[i].text) +
+                       " outside runtime//exp//obs/: simulation code is "
+                       "single-threaded by contract; put concurrency in the "
+                       "runtime or experiment layers"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// std-function-hotpath
+// ---------------------------------------------------------------------------
+
+constexpr std::string_view kHotpathDirs[] = {"runtime/", "queueing/", "core/"};
+
+void check_std_function_hotpath(const Tokens& ts, const std::string& rel,
+                                std::vector<Finding>& out) {
+  if (!ends_with(rel, ".hpp") || !in_any(rel, kHotpathDirs)) return;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    if (is_id(ts[i], "function") && std_qualified(ts, i)) {
+      out.push_back({rel, ts[i].line, "std-function-hotpath",
+                     "std::function in a hot-path header: it heap-allocates "
+                     "beyond a 16-byte capture and drags copy machinery — "
+                     "use ilu::Task (runtime/task.hpp)"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------------
+
+struct Suppression {
+  int applies_to_line = 0;
+  NameSet checks;
+};
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool known_check(std::string_view name) {
+  for (const CheckInfo& c : checks()) {
+    if (name == c.name) return true;
+  }
+  return false;
+}
+
+/// Parse `ilu-lint: allow(a,b) - reason` out of a comment. Appends either a
+/// Suppression or a `lint-suppression` finding for malformed annotations.
+void parse_suppression(const Comment& c, const std::string& rel,
+                       std::vector<Suppression>& sups,
+                       std::vector<Finding>& out) {
+  std::size_t pos = c.text.find("ilu-lint");
+  if (pos == std::string_view::npos) return;
+  auto malformed = [&](const std::string& why) {
+    out.push_back({rel, c.line, "lint-suppression",
+                   "malformed ilu-lint suppression: " + why});
+  };
+  std::string_view rest = c.text.substr(pos + 8);
+  rest = trim(rest);
+  if (rest.empty() || rest.front() != ':') {
+    return malformed("expected `ilu-lint: allow(<check>) - <reason>`");
+  }
+  rest = trim(rest.substr(1));
+  if (!starts_with(rest, "allow")) {
+    return malformed("only the `allow(...)` directive exists");
+  }
+  rest = trim(rest.substr(5));
+  if (rest.empty() || rest.front() != '(') {
+    return malformed("expected `(` after allow");
+  }
+  std::size_t close = rest.find(')');
+  if (close == std::string_view::npos) {
+    return malformed("unterminated allow(");
+  }
+  std::string_view list = rest.substr(1, close - 1);
+  Suppression s;
+  s.applies_to_line = c.own_line ? c.line + 1 : c.line;
+  while (!list.empty()) {
+    std::size_t comma = list.find(',');
+    std::string_view name = trim(list.substr(0, comma));
+    if (name.empty()) return malformed("empty check name in allow()");
+    if (!known_check(name)) {
+      return malformed("unknown check `" + std::string(name) + "`");
+    }
+    s.checks.insert(std::string(name));
+    list = comma == std::string_view::npos ? std::string_view{}
+                                           : list.substr(comma + 1);
+  }
+  if (s.checks.empty()) return malformed("empty allow() list");
+  // A reason is mandatory: ` - why this is safe`, ` — why`, or `: why`.
+  std::string_view reason = trim(rest.substr(close + 1));
+  if (starts_with(reason, "\xe2\x80\x94")) {  // em dash
+    reason = trim(reason.substr(3));
+  } else if (!reason.empty() && (reason.front() == '-' ||
+                                 reason.front() == ':')) {
+    reason = trim(reason.substr(1));
+  } else {
+    reason = {};
+  }
+  if (reason.empty()) {
+    return malformed(
+        "a reason is required: `allow(<check>) - <why this is safe>`");
+  }
+  sups.push_back(std::move(s));
+}
+
+}  // namespace
+
+const std::vector<CheckInfo>& checks() {
+  static const std::vector<CheckInfo> kChecks = {
+      {"wall-clock",
+       "no std::chrono clocks, time()/gettimeofday, or std::random_device "
+       "outside util/rng.*, runtime/real_runtime.*, exp/sweep.cpp, obs/"},
+      {"unordered-iter",
+       "no range-for or begin() iteration over std::unordered_{map,set} in "
+       "sim-reachable code (everything except obs/, util/, exp/)"},
+      {"ptr-order",
+       "no std::{map,set,multimap,multiset}/std::less keyed by raw pointer "
+       "values anywhere in src/"},
+      {"raw-thread",
+       "no std::thread/mutex/atomic/condition_variable outside runtime/, "
+       "exp/, obs/, util/log.*, util/dcheck.*"},
+      {"std-function-hotpath",
+       "no std::function in runtime/, queueing/, core/ headers — use "
+       "ilu::Task"},
+  };
+  return kChecks;
+}
+
+std::vector<Finding> lint_file(const FileInput& in) {
+  LexResult lr = lex(in.content);
+  const Tokens& ts = lr.tokens;
+
+  NameSet unordered_vars;
+  collect_unordered_decls(ts, unordered_vars);
+  LexResult paired;
+  if (!in.paired_header.empty()) {
+    paired = lex(in.paired_header);
+    collect_unordered_decls(paired.tokens, unordered_vars);
+  }
+
+  std::vector<Finding> raw;
+  check_wall_clock(ts, in.rel_path, raw);
+  check_unordered_iter(ts, in.rel_path, unordered_vars, raw);
+  check_ptr_order(ts, in.rel_path, raw);
+  check_raw_thread(ts, in.rel_path, raw);
+  check_std_function_hotpath(ts, in.rel_path, raw);
+
+  std::vector<Suppression> sups;
+  std::vector<Finding> out;
+  for (const Comment& c : lr.comments) {
+    parse_suppression(c, in.rel_path, sups, out);
+  }
+
+  for (Finding& f : raw) {
+    bool suppressed = false;
+    for (const Suppression& s : sups) {
+      if (s.applies_to_line == f.line && s.checks.count(f.check) > 0) {
+        suppressed = true;
+        break;
+      }
+    }
+    if (!suppressed) out.push_back(std::move(f));
+  }
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    if (a.line != b.line) return a.line < b.line;
+    return a.check < b.check;
+  });
+  return out;
+}
+
+std::vector<Finding> lint_tree(const std::string& src_root,
+                               std::size_t* files_scanned) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  for (const auto& e : fs::recursive_directory_iterator(src_root)) {
+    if (!e.is_regular_file()) continue;
+    fs::path p = e.path();
+    if (p.extension() == ".hpp" || p.extension() == ".cpp" ||
+        p.extension() == ".h" || p.extension() == ".cc") {
+      files.push_back(p);
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  auto slurp = [](const fs::path& p) {
+    std::ifstream f(p, std::ios::binary);
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    return ss.str();
+  };
+
+  std::vector<Finding> out;
+  for (const fs::path& p : files) {
+    FileInput in;
+    in.rel_path =
+        p.lexically_relative(src_root).generic_string();
+    in.content = slurp(p);
+    if (p.extension() == ".cpp" || p.extension() == ".cc") {
+      fs::path header = p;
+      header.replace_extension(".hpp");
+      if (fs::exists(header)) in.paired_header = slurp(header);
+    }
+    std::vector<Finding> fs_ = lint_file(in);
+    out.insert(out.end(), std::make_move_iterator(fs_.begin()),
+               std::make_move_iterator(fs_.end()));
+  }
+  if (files_scanned != nullptr) *files_scanned = files.size();
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    if (a.path != b.path) return a.path < b.path;
+    if (a.line != b.line) return a.line < b.line;
+    return a.check < b.check;
+  });
+  return out;
+}
+
+}  // namespace ilu::lint

@@ -1,0 +1,232 @@
+#include "lint/lexer.hpp"
+
+namespace ilu::lint {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+bool is_ident(char c) { return is_ident_start(c) || (c >= '0' && c <= '9'); }
+bool is_digit(char c) { return c >= '0' && c <= '9'; }
+bool is_space(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f';
+}
+
+/// True for identifiers that are string-literal encoding prefixes when glued
+/// to a quote: R"..", u8"..", LR"..", etc.
+bool is_string_prefix(std::string_view s) {
+  return s == "R" || s == "u8" || s == "u" || s == "U" || s == "L" ||
+         s == "u8R" || s == "uR" || s == "UR" || s == "LR";
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  LexResult run() {
+    while (i_ < src_.size()) step();
+    return std::move(out_);
+  }
+
+ private:
+  void step() {
+    char c = src_[i_];
+    if (c == '\n') {
+      ++line_;
+      line_has_code_ = false;
+      ++i_;
+      return;
+    }
+    if (is_space(c)) {
+      ++i_;
+      return;
+    }
+    if (c == '/' && i_ + 1 < src_.size()) {
+      if (src_[i_ + 1] == '/') return line_comment();
+      if (src_[i_ + 1] == '*') return block_comment();
+    }
+    if (c == '#' && !line_has_code_) return preprocessor_line();
+    if (is_ident_start(c)) return identifier();
+    if (is_digit(c) || (c == '.' && i_ + 1 < src_.size() &&
+                        is_digit(src_[i_ + 1]))) {
+      return number();
+    }
+    if (c == '"') return string_lit(/*raw=*/false);
+    if (c == '\'') return char_lit();
+    punct();
+  }
+
+  void emit(Tok kind, std::size_t begin, std::size_t end, int line) {
+    out_.tokens.push_back(
+        Token{kind, src_.substr(begin, end - begin), line});
+    line_has_code_ = true;
+  }
+
+  void line_comment() {
+    int line = line_;
+    bool own = !line_has_code_;
+    std::size_t begin = i_ + 2;
+    i_ += 2;
+    while (i_ < src_.size() && src_[i_] != '\n') ++i_;
+    out_.comments.push_back(Comment{line, own, src_.substr(begin, i_ - begin)});
+  }
+
+  void block_comment() {
+    int line = line_;
+    bool own = !line_has_code_;
+    std::size_t begin = i_ + 2;
+    i_ += 2;
+    std::size_t end = src_.size();
+    while (i_ < src_.size()) {
+      if (src_[i_] == '\n') ++line_;
+      if (src_[i_] == '*' && i_ + 1 < src_.size() && src_[i_ + 1] == '/') {
+        end = i_;
+        i_ += 2;
+        break;
+      }
+      ++i_;
+    }
+    out_.comments.push_back(Comment{line, own, src_.substr(begin, end - begin)});
+    // A block comment does not make subsequent tokens non-leading for the
+    // suppression "own line" rule, matching the common `/* ... */ code` case
+    // conservatively: treat it as code.
+    line_has_code_ = true;
+  }
+
+  /// Skip a preprocessor directive, honoring `\` line continuations. Line
+  /// comments terminate it; block comments inside are crossed over.
+  void preprocessor_line() {
+    line_has_code_ = true;
+    while (i_ < src_.size()) {
+      char c = src_[i_];
+      if (c == '\n') {
+        // Continuation if the previous non-space char was a backslash.
+        std::size_t j = i_;
+        while (j > 0 && is_space(src_[j - 1])) --j;
+        bool cont = j > 0 && src_[j - 1] == '\\';
+        ++line_;
+        ++i_;
+        if (!cont) {
+          line_has_code_ = false;
+          return;
+        }
+        continue;
+      }
+      if (c == '/' && i_ + 1 < src_.size() && src_[i_ + 1] == '/') {
+        return line_comment_then_newline();
+      }
+      if (c == '/' && i_ + 1 < src_.size() && src_[i_ + 1] == '*') {
+        block_comment();
+        out_.comments.pop_back();  // not a suppression site
+        continue;
+      }
+      ++i_;
+    }
+  }
+
+  void line_comment_then_newline() {
+    while (i_ < src_.size() && src_[i_] != '\n') ++i_;
+  }
+
+  void identifier() {
+    std::size_t begin = i_;
+    while (i_ < src_.size() && is_ident(src_[i_])) ++i_;
+    std::string_view text = src_.substr(begin, i_ - begin);
+    if (i_ < src_.size() && src_[i_] == '"' && is_string_prefix(text)) {
+      string_lit(text.back() == 'R');
+      return;
+    }
+    if (i_ < src_.size() && src_[i_] == '\'' &&
+        (text == "u8" || text == "u" || text == "U" || text == "L")) {
+      char_lit();
+      return;
+    }
+    emit(Tok::Identifier, begin, i_, line_);
+  }
+
+  void number() {
+    std::size_t begin = i_;
+    while (i_ < src_.size()) {
+      char c = src_[i_];
+      if (is_ident(c) || c == '.') {
+        ++i_;
+      } else if (c == '\'' && i_ + 1 < src_.size() && is_ident(src_[i_ + 1])) {
+        i_ += 2;  // digit separator
+      } else if ((c == '+' || c == '-') && i_ > begin &&
+                 (src_[i_ - 1] == 'e' || src_[i_ - 1] == 'E' ||
+                  src_[i_ - 1] == 'p' || src_[i_ - 1] == 'P')) {
+        ++i_;  // exponent sign
+      } else {
+        break;
+      }
+    }
+    emit(Tok::Number, begin, i_, line_);
+  }
+
+  void string_lit(bool raw) {
+    int line = line_;
+    std::size_t begin = i_;
+    ++i_;  // opening quote
+    if (raw) {
+      // R"delim( ... )delim"
+      std::size_t dstart = i_;
+      while (i_ < src_.size() && src_[i_] != '(') ++i_;
+      std::string closer = ")";
+      closer += std::string(src_.substr(dstart, i_ - dstart));
+      closer += '"';
+      std::size_t pos = src_.find(closer, i_);
+      if (pos == std::string_view::npos) {
+        i_ = src_.size();
+      } else {
+        for (std::size_t j = i_; j < pos; ++j) {
+          if (src_[j] == '\n') ++line_;
+        }
+        i_ = pos + closer.size();
+      }
+    } else {
+      while (i_ < src_.size() && src_[i_] != '"' && src_[i_] != '\n') {
+        if (src_[i_] == '\\' && i_ + 1 < src_.size()) ++i_;
+        ++i_;
+      }
+      if (i_ < src_.size() && src_[i_] == '"') ++i_;
+    }
+    emit(Tok::String, begin, i_, line);
+  }
+
+  void char_lit() {
+    std::size_t begin = i_;
+    ++i_;  // opening quote
+    while (i_ < src_.size() && src_[i_] != '\'' && src_[i_] != '\n') {
+      if (src_[i_] == '\\' && i_ + 1 < src_.size()) ++i_;
+      ++i_;
+    }
+    if (i_ < src_.size() && src_[i_] == '\'') ++i_;
+    emit(Tok::CharLit, begin, i_, line_);
+  }
+
+  void punct() {
+    std::size_t begin = i_;
+    char c = src_[i_];
+    if (i_ + 1 < src_.size() &&
+        ((c == ':' && src_[i_ + 1] == ':') ||
+         (c == '-' && src_[i_ + 1] == '>'))) {
+      i_ += 2;
+    } else {
+      ++i_;
+    }
+    emit(Tok::Punct, begin, i_, line_);
+  }
+
+  std::string_view src_;
+  std::size_t i_ = 0;
+  int line_ = 1;
+  bool line_has_code_ = false;
+  LexResult out_;
+};
+
+}  // namespace
+
+LexResult lex(std::string_view src) { return Lexer(src).run(); }
+
+}  // namespace ilu::lint

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// A lightweight C++ lexer for ilu-lint (tools/lint). Deliberately not a
+/// full front end: no preprocessing, no semantic analysis. It produces a
+/// token stream with comments and preprocessor directives stripped — exactly
+/// enough structure for the repo's determinism checks, which key off
+/// qualified-name sequences (`std :: function`), declaration shapes
+/// (`std::unordered_map< ... > name`), and range-for headers. Comments are
+/// lexed into a side list so suppression annotations
+/// (`// ilu-lint: allow(check) - reason`) survive stripping.
+namespace ilu::lint {
+
+enum class Tok {
+  Identifier,
+  Number,
+  String,
+  CharLit,
+  Punct,  // single char, or the two-char `::` / `->`
+};
+
+struct Token {
+  Tok kind;
+  std::string_view text;  // view into the source passed to lex()
+  int line = 0;
+};
+
+struct Comment {
+  int line = 0;        // line the comment starts on
+  bool own_line = false;  // nothing but whitespace precedes it on its line
+  std::string_view text;  // contents without the // or /* */ markers
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// Tokenize `src`. Handles line/block comments, string/char literals
+/// (including raw strings and encoding prefixes), digit separators, and
+/// preprocessor lines (skipped wholesale, honoring `\` continuations).
+/// Never throws on malformed input — unterminated constructs end at EOF.
+LexResult lex(std::string_view src);
+
+}  // namespace ilu::lint

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+/// ilu-lint: repo-specific determinism & concurrency static analysis.
+///
+/// The simulation's contract — a fixed seed produces a byte-identical
+/// ExperimentReport at any thread/shard count — holds only because sim code
+/// obeys rules that no compiler enforces: no ambient wall clock or entropy,
+/// no order-escaping iteration over unordered containers, no ordering keyed
+/// on raw pointer values, threads confined to the runtime/experiment layers,
+/// and `ilu::Task` instead of `std::function` on the event hot paths. Those
+/// rules lived in DESIGN.md prose; ilu-lint turns them into named,
+/// machine-checked findings over the token stream (see lexer.hpp).
+///
+/// Checks (scopes are path prefixes relative to src/):
+///   wall-clock            std::chrono::*_clock::now(), time()/gettimeofday/
+///                         localtime/gmtime/mktime, std::random_device,
+///                         rand()/srand() anywhere except util/rng.*,
+///                         runtime/real_runtime.*, exp/sweep.cpp, obs/.
+///   unordered-iter        range-for or .begin()/.cbegin()/.rbegin() over a
+///                         variable declared std::unordered_{map,set,
+///                         multimap,multiset} (including via local `using`
+///                         aliases and the paired header of a .cpp file), in
+///                         sim-reachable code (everything except obs/,
+///                         util/, exp/).
+///   ptr-order             std::{map,set,multimap,multiset} or std::less
+///                         keyed on a raw pointer type, anywhere in src/.
+///   raw-thread            std::thread/jthread/mutex/condition_variable/
+///                         atomic/future/promise/async outside runtime/,
+///                         exp/, obs/, util/log.*, util/dcheck.*.
+///   std-function-hotpath  std::function in runtime/, queueing/, or core/
+///                         headers — use ilu::Task (runtime/task.hpp).
+///
+/// Suppression: a finding on line L is suppressed by a comment on L (or a
+/// comment-only line immediately above) of the form
+///     // ilu-lint: allow(check-name[,check2]) - reason text
+/// The reason is mandatory; an allow() without one (or naming an unknown
+/// check) is itself reported under the reserved name `lint-suppression`,
+/// which cannot be suppressed.
+namespace ilu::lint {
+
+struct Finding {
+  std::string path;  // as passed in (tree walks use paths relative to root)
+  int line = 0;
+  std::string check;
+  std::string message;
+};
+
+struct CheckInfo {
+  const char* name;
+  const char* description;
+};
+
+/// Catalogue of all checks, in reporting order.
+const std::vector<CheckInfo>& checks();
+
+struct FileInput {
+  /// Path relative to src/ (decides scopes and allowlists), e.g.
+  /// "core/worker.hpp". Used verbatim in findings.
+  std::string rel_path;
+  std::string content;
+  /// Content of the same-stem header for a .cpp file ("" when none):
+  /// member declarations live there, so unordered-iter resolves through it.
+  std::string paired_header;
+};
+
+/// Lint one file; returns unsuppressed findings plus any malformed
+/// suppressions, sorted by line.
+std::vector<Finding> lint_file(const FileInput& in);
+
+/// Recursively lint every .hpp/.cpp under `src_root`. Findings carry paths
+/// relative to `src_root` and are sorted by (path, line). `files_scanned`
+/// (optional) receives the number of files visited.
+std::vector<Finding> lint_tree(const std::string& src_root,
+                               std::size_t* files_scanned = nullptr);
+
+}  // namespace ilu::lint

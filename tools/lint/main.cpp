@@ -1,0 +1,54 @@
+// ilu-lint — determinism & concurrency static analysis for this repo.
+//
+//   ilu-lint [--root DIR]      lint <DIR>/src (default: .)
+//   ilu-lint --src DIR         lint DIR directly
+//   ilu-lint --list-checks     print the check catalogue
+//
+// Exit status: 0 when the tree is clean, 1 when findings were reported,
+// 2 on usage/IO errors. Registered as the `ilu_lint` ctest test so tier-1
+// runs enforce the rules; see DESIGN.md §10 for the catalogue and the
+// suppression policy.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "lint/lint.hpp"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string src;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+      root = argv[++i];
+    } else if (std::strcmp(argv[i], "--src") == 0 && i + 1 < argc) {
+      src = argv[++i];
+    } else if (std::strcmp(argv[i], "--list-checks") == 0) {
+      for (const auto& c : ilu::lint::checks()) {
+        std::printf("%-22s %s\n", c.name, c.description);
+      }
+      return 0;
+    } else {
+      std::fprintf(stderr,
+                   "usage: ilu-lint [--root DIR | --src DIR | "
+                   "--list-checks]\n");
+      return 2;
+    }
+  }
+  if (src.empty()) src = root + "/src";
+  if (!std::filesystem::is_directory(src)) {
+    std::fprintf(stderr, "ilu-lint: no such directory: %s\n", src.c_str());
+    return 2;
+  }
+
+  std::size_t files = 0;
+  auto findings = ilu::lint::lint_tree(src, &files);
+  for (const auto& f : findings) {
+    std::printf("%s/%s:%d: [%s] %s\n", src.c_str(), f.path.c_str(), f.line,
+                f.check.c_str(), f.message.c_str());
+  }
+  std::fprintf(stderr, "ilu-lint: %zu file(s) scanned, %zu finding(s)\n",
+               files, findings.size());
+  return findings.empty() ? 0 : 1;
+}
