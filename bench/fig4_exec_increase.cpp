@@ -14,9 +14,22 @@
 // every n-th cell (offset i) so the grid can be split across machines;
 // skipped cells print as "-" and are omitted from the CSV.
 
+#include <csignal>
 #include <numeric>
 
 #include "bench_util.hpp"
+
+namespace {
+ilu::exp::SweepRunner* g_runner = nullptr;
+}
+
+// SIGINT stops the sweep cooperatively: cells in flight finish, the grid
+// prints with "-" for the cells never reached, and the CSV keeps the
+// completed subset. request_stop is a lock-free atomic store, so calling it
+// here is async-signal-safe.
+extern "C" void fig4_handle_sigint(int) {
+  if (g_runner != nullptr) g_runner->request_stop();
+}
 
 int main(int argc, char** argv) {
   using namespace ilu;
@@ -70,10 +83,16 @@ int main(int argc, char** argv) {
 
   exp::SweepRunner runner(
       {.threads = threads, .progress_interval = secs(5.0)});
+  g_runner = &runner;
+  std::signal(SIGINT, fig4_handle_sigint);
   std::printf("(sweep: %zu of %zu cells [shard %zu/%zu] on %u threads)\n",
               mine.size(), grid_size, shard.index, shard.count,
               runner.threads());
-  auto mine_results = runner.run(mine);
+  auto mine_results = runner.run_partial(mine);
+  std::signal(SIGINT, SIG_DFL);
+  if (runner.stop_requested()) {
+    std::printf("(interrupted — printing the completed cells)\n");
+  }
   std::vector<std::optional<KeepAliveSimResult>> results(grid_size);
   for (std::size_t k = 0; k < owned.size(); ++k) {
     results[owned[k]] = std::move(mine_results[k]);
@@ -110,5 +129,5 @@ int main(int argc, char** argv) {
   std::printf(
       "\nPaper reference: GD >3x lower than TTL on representative (floor at\n"
       "~15 GB vs ~50 GB); LRU ~2x better than TTL on rare; HIST between.\n");
-  return 0;
+  return runner.stop_requested() ? 130 : 0;
 }

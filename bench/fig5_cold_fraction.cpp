@@ -7,9 +7,20 @@
 // submission order, independent of thread count. Supports the same
 // `--shard i/n` cross-machine grid split as fig4.
 
+#include <csignal>
 #include <numeric>
 
 #include "bench_util.hpp"
+
+namespace {
+ilu::exp::SweepRunner* g_runner = nullptr;
+}
+
+// SIGINT stops the sweep cooperatively and prints the completed cells (the
+// same partial-grid path as fig4). request_stop is async-signal-safe.
+extern "C" void fig5_handle_sigint(int) {
+  if (g_runner != nullptr) g_runner->request_stop();
+}
 
 int main(int argc, char** argv) {
   using namespace ilu;
@@ -58,10 +69,16 @@ int main(int argc, char** argv) {
 
   exp::SweepRunner runner(
       {.threads = threads, .progress_interval = secs(5.0)});
+  g_runner = &runner;
+  std::signal(SIGINT, fig5_handle_sigint);
   std::printf("(sweep: %zu of %zu cells [shard %zu/%zu] on %u threads)\n",
               mine.size(), grid_size, shard.index, shard.count,
               runner.threads());
-  auto mine_results = runner.run(mine);
+  auto mine_results = runner.run_partial(mine);
+  std::signal(SIGINT, SIG_DFL);
+  if (runner.stop_requested()) {
+    std::printf("(interrupted — printing the completed cells)\n");
+  }
   std::vector<std::optional<KeepAliveSimResult>> results(grid_size);
   for (std::size_t k = 0; k < owned.size(); ++k) {
     results[owned[k]] = std::move(mine_results[k]);
@@ -92,5 +109,5 @@ int main(int argc, char** argv) {
   std::printf(
       "\nPaper reference: same ordering trends as Fig 4, but differences\n"
       "between policies shift because miss ratio ignores miss cost.\n");
-  return 0;
+  return runner.stop_requested() ? 130 : 0;
 }

@@ -131,17 +131,15 @@ void BM_ContainerPoolAcquireReturn(benchmark::State& state) {
                                            .sweep_interval = Duration::zero()},
                      nullptr);
   auto profile = lookbusy(msecs(100), 128, msecs(500));
-  std::vector<Container*> cs;
   for (int i = 0; i < 32; ++i) {
-    auto* c = pool.add_container(0, profile, rt.now());
-    c->state = ContainerState::Launching;
-    c->state = ContainerState::Running;
+    ContainerHandle c = pool.add_container(0, profile, rt.now());
+    pool.get(c).state = ContainerState::Launching;
+    pool.get(c).state = ContainerState::Running;
     pool.return_container(c, rt.now());
-    cs.push_back(c);
   }
   std::uint64_t t = 0;
   for (auto _ : state) {
-    Container* c = pool.acquire(0, usecs(t));
+    ContainerHandle c = pool.acquire(0, usecs(t));
     benchmark::DoNotOptimize(c);
     pool.return_container(c, usecs(t + 1));
     t += 2;

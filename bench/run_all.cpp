@@ -12,7 +12,8 @@
 // Schema (ilu-bench-core-v1): {"schema", "runs": [{label, utc, host_threads,
 // smoke, engine:{events_per_sec, schedule_run_events_per_sec,
 // schedule_cancel_ops_per_sec, queue_push_pop_ops_per_sec,
-// pool_acquire_return_ops_per_sec}, trace_gen:{functions, events,
+// pool_acquire_return_ops_per_sec}, pool_churn:{slab_ops_per_sec,
+// pointer_ops_per_sec, speedup}, trace_gen:{functions, events,
 // aos_events_per_sec, arena_events_per_sec}, cluster_scaling:{shards,
 // completed, wall_s_serial, wall_s_sharded, speedup, equivalent},
 // fig4_sweep:{cells, threads, wall_s_1thread, wall_s_nthreads, speedup},
@@ -32,6 +33,7 @@
 
 #include "bench_util.hpp"
 #include "lint/lint.hpp"
+#include "pointer_pool_baseline.hpp"
 #include "util/json.hpp"
 
 namespace {
@@ -143,19 +145,91 @@ double pool_acquire_return_ops_per_sec(int rounds) {
                      nullptr);
   auto profile = lookbusy(msecs(100), 128, msecs(500));
   for (int i = 0; i < 32; ++i) {
-    auto* c = pool.add_container(0, profile, rt.now());
-    c->state = ContainerState::Launching;
-    c->state = ContainerState::Running;
+    ContainerHandle c = pool.add_container(0, profile, rt.now());
+    pool.get(c).state = ContainerState::Launching;
+    pool.get(c).state = ContainerState::Running;
     pool.return_container(c, rt.now());
   }
   std::uint64_t t = 0;
   return best_ops_per_sec(static_cast<std::uint64_t>(rounds), 3, [&] {
     for (int round = 0; round < rounds; ++round) {
-      Container* c = pool.acquire(0, usecs(t));
+      ContainerHandle c = pool.acquire(0, usecs(t));
       pool.return_container(c, usecs(t + 1));
       t += 2;
     }
   });
+}
+
+/// Cold-start -> warm-hit -> evict churn cycle, before/after the slab
+/// refactor. Mirrors bench/pool_churn's loop; recorded so the trajectory
+/// file carries the comparison on every host.
+struct PoolChurnTiming {
+  double slab_ops_per_sec = 0.0;
+  double pointer_ops_per_sec = 0.0;
+  double speedup = 0.0;
+};
+
+PoolChurnTiming pool_churn_timing(int cycles) {
+  constexpr int kFns = 16;
+  constexpr std::uint32_t kMemMb = 128;
+  constexpr std::uint64_t kCapacityMb = 48 * kMemMb;
+  auto profile = lookbusy(msecs(100), kMemMb, msecs(500));
+  PoolChurnTiming out;
+  {
+    SimRuntime rt;
+    LruPolicy policy;
+    ContainerPool pool(rt, policy,
+                       ContainerPool::Config{.capacity_mb = kCapacityMb,
+                                             .free_buffer_mb = 0,
+                                             .sweep_interval = Duration::zero()},
+                       nullptr);
+    std::uint64_t t = 0;
+    auto cycle = [&](int n) {
+      for (int i = 0; i < n; ++i) {
+        ContainerHandle c = pool.add_container(
+            static_cast<FunctionId>(i % kFns), profile, usecs(t));
+        if (c.valid()) {
+          pool.get(c).state = ContainerState::Launching;
+          pool.get(c).state = ContainerState::Running;
+          ContainerHandle warm = pool.acquire(
+              static_cast<FunctionId>((i + 1) % kFns), usecs(t + 1));
+          if (warm.valid()) pool.return_container(warm, usecs(t + 2));
+          pool.return_container(c, usecs(t + 3));
+        }
+        t += 4;
+      }
+    };
+    cycle(cycles / 10);  // warm-up
+    out.slab_ops_per_sec = best_ops_per_sec(
+        static_cast<std::uint64_t>(cycles), 3, [&] { cycle(cycles); });
+  }
+  {
+    LruPolicy policy;
+    PointerContainerPool pool(policy, kCapacityMb);
+    std::uint64_t t = 0;
+    auto cycle = [&](int n) {
+      for (int i = 0; i < n; ++i) {
+        Container* c = pool.add_container(static_cast<FunctionId>(i % kFns),
+                                          profile, usecs(t));
+        if (c != nullptr) {
+          c->state = ContainerState::Launching;
+          c->state = ContainerState::Running;
+          Container* warm = pool.acquire(
+              static_cast<FunctionId>((i + 1) % kFns), usecs(t + 1));
+          if (warm != nullptr) pool.return_container(warm, usecs(t + 2));
+          pool.return_container(c, usecs(t + 3));
+        }
+        t += 4;
+      }
+    };
+    cycle(cycles / 10);
+    out.pointer_ops_per_sec = best_ops_per_sec(
+        static_cast<std::uint64_t>(cycles), 3, [&] { cycle(cycles); });
+  }
+  out.speedup = out.pointer_ops_per_sec > 0.0
+                    ? out.slab_ops_per_sec / out.pointer_ops_per_sec
+                    : 0.0;
+  return out;
 }
 
 struct SweepTiming {
@@ -396,6 +470,12 @@ int main(int argc, char** argv) {
   std::printf("%-36s %12.0f /s\n", "queue push+pop ops", qp);
   double pa = pool_acquire_return_ops_per_sec(rounds * 100);
   std::printf("%-36s %12.0f /s\n", "pool acquire+return ops", pa);
+  auto pc = pool_churn_timing(rounds * 50);
+  std::printf("%-36s %12.0f /s\n", "pool churn (slab/handle)",
+              pc.slab_ops_per_sec);
+  std::printf("%-36s %12.0f /s\n", "pool churn (pointer baseline)",
+              pc.pointer_ops_per_sec);
+  std::printf("%-36s %12.2fx\n", "pool churn slab speedup", pc.speedup);
 
   auto tg = trace_gen_timing(smoke);
   std::printf("%-36s %12zu fns, %zu events\n", "trace gen grid", tg.functions,
@@ -444,6 +524,11 @@ int main(int argc, char** argv) {
   engine["queue_push_pop_ops_per_sec"] = qp;
   engine["pool_acquire_return_ops_per_sec"] = pa;
   run["engine"] = engine;
+  JsonObject pool_churn;
+  pool_churn["slab_ops_per_sec"] = pc.slab_ops_per_sec;
+  pool_churn["pointer_ops_per_sec"] = pc.pointer_ops_per_sec;
+  pool_churn["speedup"] = pc.speedup;
+  run["pool_churn"] = pool_churn;
   JsonObject trace_gen;
   trace_gen["functions"] = static_cast<std::uint64_t>(tg.functions);
   trace_gen["events"] = static_cast<std::uint64_t>(tg.events);

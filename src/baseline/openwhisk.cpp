@@ -18,7 +18,7 @@ OpenWhiskModel::OpenWhiskModel(Runtime& rt, OpenWhiskConfig cfg)
                                   // background, and keeps no free buffer.
                                   .free_buffer_mb = 0,
                                   .sweep_interval = secs(10)},
-            [this](std::unique_ptr<Container>) {
+            [this](const Container&) {
               // Sandbox teardown happens asynchronously in Docker; nothing
               // else observes it in this model.
               rt_.post([this] { pump_buffer(); });
@@ -57,25 +57,25 @@ void OpenWhiskModel::invoke(FunctionId fn, InvokeCb cb) {
   if (fn >= functions_.size()) {
     throw std::out_of_range("openwhisk invoke: unregistered function");
   }
-  auto p = std::make_shared<Pending>();
-  p->fn = fn;
-  p->submitted = rt_.now();
-  p->cb = std::move(cb);
-
   // Admission control: "429 system overloaded" when the in-flight cap is
   // reached (the drop path the litmus experiments exercise).
   if (cfg_.max_inflight > 0 && inflight_ >= cfg_.max_inflight) {
     ++dropped_;
-    ++dropped_by_fn_[p->fn];
+    ++dropped_by_fn_[fn];
     InvokeResult r;
     r.success = false;
     r.dropped = true;
-    r.fn = p->fn;
-    r.submitted = p->submitted;
+    r.fn = fn;
+    r.submitted = rt_.now();
     r.completed = rt_.now();
-    if (p->cb) p->cb(r);
+    if (cb) cb(r);
     return;
   }
+  PendingHandle p = pending_.emplace();
+  Pending& rec = pending_.get(p);
+  rec.fn = fn;
+  rec.submitted = rt_.now();
+  rec.cb = std::move(cb);
   ++inflight_;
 
   // NGINX -> controller -> Kafka publish/consume, all on the critical path.
@@ -84,26 +84,29 @@ void OpenWhiskModel::invoke(FunctionId fn, InvokeCb cb) {
   rt_.schedule(path, [this, p] { arrive_at_invoker(p); });
 }
 
-void OpenWhiskModel::arrive_at_invoker(PendingPtr p) { try_start(p); }
+void OpenWhiskModel::arrive_at_invoker(PendingHandle p) { try_start(p); }
 
-void OpenWhiskModel::try_start(PendingPtr p) {
-  Container* warm = pool_.acquire(p->fn, rt_.now());
-  if (warm != nullptr) {
+void OpenWhiskModel::try_start(PendingHandle p) {
+  FunctionId fn = pending_.get(p).fn;
+  ContainerHandle warm = pool_.acquire(fn, rt_.now());
+  if (warm.valid()) {
     run_on(p, warm, /*cold=*/false);
     return;
   }
-  Container* fresh = pool_.add_container(p->fn, functions_[p->fn], rt_.now());
-  if (fresh == nullptr) {
+  ContainerHandle fresh = pool_.add_container(fn, functions_[fn], rt_.now());
+  if (!fresh.valid()) {
     // No memory: buffer the activation; beyond capacity or timeout, drop it
     // (OpenWhisk "buffers and eventually drops requests").
     if (memory_buffer_.size() >= cfg_.buffer_capacity) {
       drop(p);
       return;
     }
-    p->buffered_at = rt_.now();
+    pending_.get(p).buffered_at = rt_.now();
     memory_buffer_.push_back(p);
     rt_.schedule(cfg_.buffer_timeout, [this, p] {
-      // Still buffered after the timeout? Drop it.
+      // Still buffered after the timeout? Drop it. (If the activation
+      // already started, its slot was erased or recycled, so the handle in
+      // the buffer no longer compares equal.)
       for (auto it = memory_buffer_.begin(); it != memory_buffer_.end();
            ++it) {
         if (*it == p) {
@@ -119,74 +122,84 @@ void OpenWhiskModel::try_start(PendingPtr p) {
   // path every time (no namespace pooling).
   Duration netns_cost = LatencyModel::lognormal(msecs(100), 0.2).sample(rng_);
   rt_.schedule(netns_cost, [this, p, fresh] {
-    backend_->create_container(functions_[p->fn], [this, p, fresh](bool ok) {
+    FunctionId fn = pending_.get(p).fn;
+    backend_->create_container(functions_[fn], [this, p, fresh](bool ok) {
       if (!ok) {
         pool_.remove(fresh);
         drop(p);
         return;
       }
-      fresh->state = ContainerState::Launching;
-      fresh->state = ContainerState::Running;
-      ++fresh->entry.uses;
-      fresh->entry.last_used = rt_.now();
+      Container& c = pool_.get(fresh);
+      c.state = ContainerState::Launching;
+      c.state = ContainerState::Running;
+      ++c.entry.uses;
+      c.entry.last_used = rt_.now();
       run_on(p, fresh, /*cold=*/true);
     });
   });
 }
 
-void OpenWhiskModel::run_on(PendingPtr p, Container* c, bool cold) {
-  double work = to_sec(cold ? functions_[p->fn].cold_time()
-                            : functions_[p->fn].warm_time);
+void OpenWhiskModel::run_on(PendingHandle p, ContainerHandle c, bool cold) {
+  FunctionId fn = pending_.get(p).fn;
+  double work =
+      to_sec(cold ? functions_[fn].cold_time() : functions_[fn].warm_time);
   // No concurrency regulation: every invocation lands on the CPU at once.
-  backend_->invoke(work, functions_[p->fn].cpus,
+  backend_->invoke(work, functions_[fn].cpus,
                    [this, p, c, cold](bool, Duration actual) {
                      complete(p, c, cold, actual);
                    });
 }
 
-void OpenWhiskModel::complete(PendingPtr p, Container* c, bool cold,
+void OpenWhiskModel::complete(PendingHandle p, ContainerHandle c, bool cold,
                               Duration actual) {
   // Result logging to CouchDB is on the critical path.
   Duration db = stage_latency(cfg_.couchdb_write);
   rt_.schedule(db, [this, p, c, cold, actual] {
     pool_.return_container(c, rt_.now());
     --inflight_;
+    Pending& rec = pending_.get(p);
     InvokeResult r;
     r.success = true;
     r.cold = cold;
-    r.fn = p->fn;
-    r.submitted = p->submitted;
+    r.fn = rec.fn;
+    r.submitted = rec.submitted;
     r.completed = rt_.now();
     r.exec_time = actual;
     ++completed_;
     if (cold) {
       ++cold_count_;
-      ++cold_by_fn_[p->fn];
+      ++cold_by_fn_[rec.fn];
     } else {
       ++warm_count_;
-      ++warm_by_fn_[p->fn];
+      ++warm_by_fn_[rec.fn];
     }
-    if (p->cb) p->cb(r);
+    // The callback may reenter invoke() and grow the slab; retire first.
+    InvokeCb cb = std::move(rec.cb);
+    pending_.erase(p);
+    if (cb) cb(r);
     pump_buffer();
   });
 }
 
-void OpenWhiskModel::drop(PendingPtr p) {
+void OpenWhiskModel::drop(PendingHandle p) {
   --inflight_;
   ++dropped_;
-  ++dropped_by_fn_[p->fn];
+  Pending& rec = pending_.get(p);
+  ++dropped_by_fn_[rec.fn];
   InvokeResult r;
   r.success = false;
   r.dropped = true;
-  r.fn = p->fn;
-  r.submitted = p->submitted;
+  r.fn = rec.fn;
+  r.submitted = rec.submitted;
   r.completed = rt_.now();
-  if (p->cb) p->cb(r);
+  InvokeCb cb = std::move(rec.cb);
+  pending_.erase(p);
+  if (cb) cb(r);
 }
 
 void OpenWhiskModel::pump_buffer() {
   if (memory_buffer_.empty()) return;
-  PendingPtr p = memory_buffer_.front();
+  PendingHandle p = memory_buffer_.front();
   memory_buffer_.pop_front();
   try_start(p);
 }

@@ -12,6 +12,7 @@
 #include "keepalive/pool.hpp"
 #include "runtime/latency.hpp"
 #include "runtime/runtime.hpp"
+#include "runtime/slab.hpp"
 
 /// Behavioural model of the OpenWhisk control plane, the paper's baseline.
 ///
@@ -103,14 +104,26 @@ class OpenWhiskModel {
     TimePoint buffered_at{};
     InvokeCb cb;
   };
-  using PendingPtr = std::shared_ptr<Pending>;
+  /// Slab handle to an in-flight activation (DESIGN.md §11). The buffer
+  /// timeout keeps a handle past the activation's possible completion; the
+  /// generation check makes that safe — a recycled slot never matches.
+  struct PendingHandle {
+    std::uint32_t index = 0;
+    std::uint32_t gen = 0;
+    bool valid() const { return gen != 0; }
+    friend bool operator==(const PendingHandle&,
+                           const PendingHandle&) = default;
+  };
+  using PendingStore = Slab<Pending, PendingHandle>;
 
   Duration stage_latency(const LatencyModel& m);
-  void arrive_at_invoker(PendingPtr p);
-  void try_start(PendingPtr p);
-  void run_on(PendingPtr p, Container* c, bool cold);
-  void complete(PendingPtr p, Container* c, bool cold, Duration actual);
-  void drop(PendingPtr p);
+  void arrive_at_invoker(PendingHandle p);
+  void try_start(PendingHandle p);
+  void run_on(PendingHandle p, ContainerHandle c, bool cold);
+  void complete(PendingHandle p, ContainerHandle c, bool cold,
+                Duration actual);
+  /// Complete `p` as dropped; consumes (erases) the pending.
+  void drop(PendingHandle p);
   void pump_buffer();
 
   Runtime& rt_;
@@ -123,7 +136,8 @@ class OpenWhiskModel {
   std::unique_ptr<SimContainerBackend> backend_;
 
   std::size_t inflight_ = 0;
-  std::deque<PendingPtr> memory_buffer_;
+  PendingStore pending_;
+  std::deque<PendingHandle> memory_buffer_;
 
   std::uint64_t completed_ = 0;
   std::uint64_t warm_count_ = 0;

@@ -5,6 +5,7 @@
 
 #include "common/types.hpp"
 #include "keepalive/policy.hpp"
+#include "runtime/slab.hpp"
 
 /// A container/sandbox as managed by the worker's container layer. State
 /// transitions follow the paper's lifecycle: Provisioning (image/netns) ->
@@ -12,6 +13,21 @@
 namespace ilu {
 
 using ContainerId = std::uint64_t;
+
+/// Generation-checked reference to a container record in the pool's
+/// `ContainerStore` (DESIGN.md §11). Replaces `Container*` everywhere a
+/// container outlives one call frame: worker continuations capture handles
+/// by value, and a handle retained past eviction fails `contains()` instead
+/// of silently aliasing a recycled record.
+struct ContainerHandle {
+  std::uint32_t index = 0;
+  /// Live generations are odd; 0 marks a default-constructed (null) handle.
+  std::uint32_t gen = 0;
+
+  bool valid() const { return gen != 0; }
+  friend bool operator==(const ContainerHandle&,
+                         const ContainerHandle&) = default;
+};
 
 enum class ContainerState {
   Provisioning,
@@ -39,8 +55,22 @@ struct Container {
   /// pool's prewarmed-containers gauge).
   bool prewarm_parked = false;
 
+  /// Intrusive links for the pool's per-function idle list (a LIFO stack:
+  /// head is the most recently used container). Maintained by ContainerPool
+  /// while state == Idle; null otherwise.
+  ContainerHandle idle_prev;
+  ContainerHandle idle_next;
+  /// Position in the pool's eviction-rank heap while idle, stored as the
+  /// raw {slot, gen} of an IndexedHeap handle (same flattening SimRuntime
+  /// uses for TimerId). Zero gen = not in the rank index.
+  std::uint32_t rank_slot = 0;
+  std::uint32_t rank_gen = 0;
+
   bool runnable() const { return state == ContainerState::Idle; }
 };
+
+/// Slab owner of every container record; `ContainerHandle` indexes into it.
+using ContainerStore = Slab<Container, ContainerHandle>;
 
 /// Legal state transitions; used by the worker in debug builds.
 bool valid_transition(ContainerState from, ContainerState to);

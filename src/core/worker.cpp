@@ -49,10 +49,11 @@ Worker::Worker(Runtime& rt, WorkerConfig cfg)
               pc.capacity_mb = cfg_.memory_mb;
               return pc;
             }(),
-            [this](std::unique_ptr<Container> c) {
+            [this](const Container& c) {
               // Destroy the sandbox off the critical path; memory was
-              // already released by the pool.
-              std::uint64_t ns = c->netns_id;
+              // already released by the pool. The record dies when this
+              // callback returns, so copy out the netns id.
+              std::uint64_t ns = c.netns_id;
               backend_->destroy_container([this, ns](bool) {
                 netns_.release(ns);
                 on_memory_released();
@@ -163,25 +164,26 @@ void Worker::invoke(FunctionId fn, InvokeCb cb) {
   if (fn >= functions_.size()) {
     throw std::out_of_range("invoke: unregistered function");
   }
-  auto p = std::make_shared<Pending>();
-  p->fn = fn;
-  p->submitted = rt_.now();
-  p->cb = std::move(cb);
-  p->tx = tracer_.begin_transaction();
+  PendingHandle p = pending_.emplace();
+  Pending& rec = pending_.get(p);
+  rec.fn = fn;
+  rec.submitted = rt_.now();
+  rec.cb = std::move(cb);
+  rec.tx = tracer_.begin_transaction();
   ins_.invocations->inc();
-  chars_.on_arrival(fn, p->submitted);
+  chars_.on_arrival(fn, rec.submitted);
   // Keep-alive policies observe every arrival (HIST builds its IAT
   // histograms from this, independent of cache contents).
-  ka_policy_->on_invocation(fn, p->submitted);
+  ka_policy_->on_invocation(fn, rec.submitted);
 
   // Ingestion spans (Table 1 group 1), laid out back to back in time.
   const auto& L = cfg_.latencies;
   Duration ingest{};
-  ingest += span(*p, spans::kInvoke, L.invoke, ingest);
-  ingest += span(*p, spans::kSyncInvoke, L.sync_invoke, ingest);
-  ingest += span(*p, spans::kEnqueueInvocation, L.enqueue_invocation, ingest);
-  ingest += span(*p, spans::kAddItemToQ, L.add_item_to_q, ingest);
-  p->pre_overhead = ingest;
+  ingest += span(rec, spans::kInvoke, L.invoke, ingest);
+  ingest += span(rec, spans::kSyncInvoke, L.sync_invoke, ingest);
+  ingest += span(rec, spans::kEnqueueInvocation, L.enqueue_invocation, ingest);
+  ingest += span(rec, spans::kAddItemToQ, L.add_item_to_q, ingest);
+  rec.pre_overhead = ingest;
   rt_.schedule(ingest, [this, p] { enqueue(p); });
 }
 
@@ -201,15 +203,16 @@ std::optional<InvokeResult> Worker::async_result(AsyncToken token) {
   return r;
 }
 
-void Worker::enqueue(PendingPtr p) {
+void Worker::enqueue(PendingHandle p) {
+  Pending& rec = pending_.get(p);
   // Short-function bypass (§5.1): skip the queue entirely when the function
   // is known-short and the system is not overloaded.
   if (cfg_.bypass_threshold > Duration::zero()) {
-    Duration expected = chars_.expected_warm(p->fn);
+    Duration expected = chars_.expected_warm(rec.fn);
     double norm_load = cpu_.load_average() / cfg_.cores;
     if (expected > Duration::zero() && expected <= cfg_.bypass_threshold &&
         norm_load < cfg_.bypass_load_limit) {
-      p->bypassed = true;
+      rec.bypassed = true;
       ++bypass_count_;
       ins_.bypassed->inc();
       ++running_;
@@ -218,15 +221,16 @@ void Worker::enqueue(PendingPtr p) {
       return;
     }
   }
+  FunctionId fn = rec.fn;
   QueueItem item;
-  item.fn = p->fn;
-  item.arrival = p->submitted;
+  item.fn = fn;
+  item.arrival = rec.submitted;
   item.dispatch = [this, p] {
     ++running_;
     ins_.inflight->set(static_cast<std::int64_t>(running_));
     dispatch(p);
   };
-  queue_.push(std::move(item), pool_.has_idle(p->fn));
+  queue_.push(std::move(item), pool_.has_idle(fn));
   pump();
 }
 
@@ -237,28 +241,30 @@ void Worker::pump() {
   }
 }
 
-void Worker::dispatch(PendingPtr p) {
+void Worker::dispatch(PendingHandle p) {
   const auto& L = cfg_.latencies;
+  Pending& rec = pending_.get(p);
   Duration d{};
-  d += span(*p, spans::kSpawnWorker, L.spawn_worker, d);
-  d += span(*p, spans::kDequeue, L.dequeue, d);
-  d += span(*p, spans::kAcquireContainer, L.acquire_container, d);
-  Container* c = pool_.acquire(p->fn, rt_.now());
-  if (c != nullptr) {
-    d += span(*p, spans::kTryLockContainer, L.try_lock_container, d);
-    p->pre_overhead += d;
+  d += span(rec, spans::kSpawnWorker, L.spawn_worker, d);
+  d += span(rec, spans::kDequeue, L.dequeue, d);
+  d += span(rec, spans::kAcquireContainer, L.acquire_container, d);
+  ContainerHandle c = pool_.acquire(rec.fn, rt_.now());
+  if (c.valid()) {
+    d += span(rec, spans::kTryLockContainer, L.try_lock_container, d);
+    rec.pre_overhead += d;
     rt_.schedule(d, [this, p, c] { launch_exec(p, c, /*cold=*/false); });
     return;
   }
-  p->pre_overhead += d;
+  rec.pre_overhead += d;
   rt_.schedule(d, [this, p] { cold_start(p); });
 }
 
-void Worker::cold_start(PendingPtr p) {
+void Worker::cold_start(PendingHandle p) {
+  FunctionId fn = pending_.get(p).fn;
   std::size_t sync_evictions = 0;
-  Container* c =
-      pool_.add_container(p->fn, functions_[p->fn], rt_.now(), &sync_evictions);
-  if (c == nullptr) {
+  ContainerHandle c =
+      pool_.add_container(fn, functions_[fn], rt_.now(), &sync_evictions);
+  if (!c.valid()) {
     // Memory exhausted by busy containers: park until something frees.
     --running_;
     ins_.inflight->set(static_cast<std::int64_t>(running_));
@@ -275,14 +281,16 @@ void Worker::cold_start(PendingPtr p) {
   }
   netns_.acquire([this, p, c, evict_penalty](std::uint64_t netns_id,
                                              Duration penalty) {
-    c->netns_id = netns_id;
+    pool_.get(c).netns_id = netns_id;
     // The netns penalty (if any) is on the critical path before create.
     rt_.schedule(penalty + evict_penalty, [this, p, c] {
-      backend_->create_container(functions_[p->fn], [this, p, c](bool ok) {
+      FunctionId fn = pending_.get(p).fn;
+      backend_->create_container(functions_[fn], [this, p, c](bool ok) {
         if (!ok) {
           pool_.remove(c);
-          ++p->create_attempts;
-          if (p->create_attempts <= cfg_.create_retries) {
+          Pending& rec = pending_.get(p);
+          ++rec.create_attempts;
+          if (rec.create_attempts <= cfg_.create_retries) {
             cold_start(p);
           } else {
             --running_;
@@ -292,63 +300,69 @@ void Worker::cold_start(PendingPtr p) {
           }
           return;
         }
-        c->state = ContainerState::Launching;
+        Container& cc = pool_.get(c);
+        cc.state = ContainerState::Launching;
         assert(valid_transition(ContainerState::Launching,
                                 ContainerState::Running));
-        c->state = ContainerState::Running;
-        ++c->entry.uses;
-        c->entry.last_used = rt_.now();
+        cc.state = ContainerState::Running;
+        ++cc.entry.uses;
+        cc.entry.last_used = rt_.now();
         launch_exec(p, c, /*cold=*/true);
       });
     });
   });
 }
 
-void Worker::launch_exec(PendingPtr p, Container* c, bool cold) {
+void Worker::launch_exec(PendingHandle p, ContainerHandle c, bool cold) {
   const auto& L = cfg_.latencies;
+  Pending& rec = pending_.get(p);
   Duration d{};
-  d += span(*p, spans::kPrepareInvoke, L.prepare_invoke, d);
-  d += span(*p, spans::kCallContainer, L.call_container, d);
-  if (!c->http_client_cached) {
+  d += span(rec, spans::kPrepareInvoke, L.prepare_invoke, d);
+  d += span(rec, spans::kCallContainer, L.call_container, d);
+  Container& cc = pool_.get(c);
+  if (!cc.http_client_cached) {
     // First call to this container: HTTP client setup (§4.3.1).
     d += L.http_connect.sample(rng_);
-    c->http_client_cached = true;
+    cc.http_client_cached = true;
   }
-  p->pre_overhead += d;
+  rec.pre_overhead += d;
   rt_.schedule(d, [this, p, c, cold] {
-    p->exec_started = rt_.now();
-    double work =
-        to_sec(cold ? functions_[p->fn].cold_time()
-                    : functions_[p->fn].warm_time);
-    backend_->invoke(work, functions_[p->fn].cpus,
+    Pending& r = pending_.get(p);
+    r.exec_started = rt_.now();
+    FunctionId fn = r.fn;
+    double work = to_sec(cold ? functions_[fn].cold_time()
+                              : functions_[fn].warm_time);
+    backend_->invoke(work, functions_[fn].cpus,
                      [this, p, c, cold](bool ok, Duration actual) {
                        finish(p, c, cold, ok, actual);
                      });
   });
 }
 
-void Worker::finish(PendingPtr p, Container* c, bool cold, bool ok,
+void Worker::finish(PendingHandle p, ContainerHandle c, bool cold, bool ok,
                     Duration actual_exec) {
   const auto& L = cfg_.latencies;
+  Pending& rec = pending_.get(p);
   Duration d{};
-  d += span(*p, spans::kDownloadResult, L.download_result, d);
-  d += span(*p, spans::kReturnContainer, L.return_container, d);
-  d += span(*p, spans::kReturnResults, L.return_results, d);
+  d += span(rec, spans::kDownloadResult, L.download_result, d);
+  d += span(rec, spans::kReturnContainer, L.return_container, d);
+  d += span(rec, spans::kReturnResults, L.return_results, d);
   rt_.schedule(d, [this, p, c, cold, ok, actual_exec] {
     pool_.return_container(c, rt_.now());
     --running_;
     ins_.inflight->set(static_cast<std::int64_t>(running_));
     if (ok) {
+      Pending& rec = pending_.get(p);
       InvokeResult r;
       r.success = true;
       r.cold = cold;
-      r.bypassed = p->bypassed;
-      r.fn = p->fn;
-      r.submitted = p->submitted;
-      r.exec_started = p->exec_started;
+      r.bypassed = rec.bypassed;
+      r.fn = rec.fn;
+      r.submitted = rec.submitted;
+      r.exec_started = rec.exec_started;
       r.completed = rt_.now();
       r.exec_time = actual_exec;
-      r.queue_wait = (p->exec_started - p->submitted) - p->pre_overhead;
+      r.queue_wait = (rec.exec_started - rec.submitted) - rec.pre_overhead;
       if (r.queue_wait < Duration::zero()) r.queue_wait = Duration::zero();
       ++completed_;
       ins_.completed->inc();
@@ -358,8 +372,8 @@ void Worker::finish(PendingPtr p, Container* c, bool cold, bool ok,
       // contention inflation of execution, NOT flow stretch (flow stretch
       // includes queueing, so shrinking the limit would raise the signal
       // and death-spiral the controller).
-      Duration base = cold ? functions_[p->fn].cold_time()
-                           : functions_[p->fn].warm_time;
+      Duration base =
+          cold ? functions_[rec.fn].cold_time() : functions_[rec.fn].warm_time;
       if (base > Duration::zero()) {
         recent_stretch_.add(static_cast<double>(actual_exec.count()) /
                             static_cast<double>(base.count()));
@@ -367,13 +381,17 @@ void Worker::finish(PendingPtr p, Container* c, bool cold, bool ok,
       if (cold) {
         ++cold_count_;
         ins_.cold->inc();
-        chars_.record_cold(p->fn, actual_exec);
+        chars_.record_cold(rec.fn, actual_exec);
       } else {
         ++warm_count_;
         ins_.warm->inc();
-        chars_.record_warm(p->fn, actual_exec);
+        chars_.record_warm(rec.fn, actual_exec);
       }
-      if (p->cb) p->cb(r);
+      // The callback may reenter invoke() and grow the slab, so retire the
+      // pending first and call the moved-out callback last.
+      InvokeCb cb = std::move(rec.cb);
+      pending_.erase(p);
+      if (cb) cb(r);
     } else {
       fail(p);
     }
@@ -382,15 +400,18 @@ void Worker::finish(PendingPtr p, Container* c, bool cold, bool ok,
   });
 }
 
-void Worker::fail(PendingPtr p) {
+void Worker::fail(PendingHandle p) {
   ++failure_count_;
   ins_.failures->inc();
+  Pending& rec = pending_.get(p);
   InvokeResult r;
   r.success = false;
-  r.fn = p->fn;
-  r.submitted = p->submitted;
+  r.fn = rec.fn;
+  r.submitted = rec.submitted;
   r.completed = rt_.now();
-  if (p->cb) p->cb(r);
+  InvokeCb cb = std::move(rec.cb);
+  pending_.erase(p);
+  if (cb) cb(r);
 }
 
 void Worker::on_memory_released() {
@@ -398,16 +419,18 @@ void Worker::on_memory_released() {
   // Give parked invocations another chance, preserving arrival order.
   auto parked = std::move(waiting_memory_);
   waiting_memory_.clear();
-  for (auto& p : parked) {
+  for (PendingHandle p : parked) {
+    Pending& rec = pending_.get(p);
+    FunctionId fn = rec.fn;
     QueueItem item;
-    item.fn = p->fn;
-    item.arrival = p->submitted;
+    item.fn = fn;
+    item.arrival = rec.submitted;
     item.dispatch = [this, p] {
       ++running_;
       ins_.inflight->set(static_cast<std::int64_t>(running_));
       dispatch(p);
     };
-    queue_.push(std::move(item), pool_.has_idle(p->fn));
+    queue_.push(std::move(item), pool_.has_idle(fn));
   }
   pump();
 }
@@ -416,13 +439,13 @@ void Worker::prewarm(FunctionId fn, std::function<void(bool)> cb) {
   if (fn >= functions_.size()) {
     throw std::out_of_range("prewarm: unregistered function");
   }
-  Container* c = pool_.add_container(fn, functions_[fn], rt_.now());
-  if (c == nullptr) {
+  ContainerHandle c = pool_.add_container(fn, functions_[fn], rt_.now());
+  if (!c.valid()) {
     if (cb) cb(false);
     return;
   }
   netns_.acquire([this, fn, c, cb](std::uint64_t netns_id, Duration penalty) {
-    c->netns_id = netns_id;
+    pool_.get(c).netns_id = netns_id;
     rt_.schedule(penalty, [this, fn, c, cb] {
       backend_->create_container(functions_[fn], [this, c, cb](bool ok) {
         if (!ok) {
@@ -430,7 +453,7 @@ void Worker::prewarm(FunctionId fn, std::function<void(bool)> cb) {
           if (cb) cb(false);
           return;
         }
-        c->state = ContainerState::Launching;
+        pool_.get(c).state = ContainerState::Launching;
         pool_.park_prewarmed(c, rt_.now());
         ++prewarm_count_;
         ins_.prewarms->inc();

@@ -18,6 +18,7 @@
 #include "queueing/invocation_queue.hpp"
 #include "queueing/regulator.hpp"
 #include "runtime/runtime.hpp"
+#include "runtime/slab.hpp"
 
 /// The Ilúvatar worker (§4): the worker-centric control plane that owns a
 /// function registry, a per-worker invocation queue with a concurrency
@@ -167,7 +168,18 @@ class Worker {
     TransactionId tx = 0;
     SpanId root = kNoSpan;
   };
-  using PendingPtr = std::shared_ptr<Pending>;
+  /// Generation-checked reference to an in-flight invocation in the pending
+  /// slab (DESIGN.md §11); continuations capture this 8-byte value instead
+  /// of a shared_ptr, so the steady-state invoke path never touches the
+  /// allocator or a refcount.
+  struct PendingHandle {
+    std::uint32_t index = 0;
+    std::uint32_t gen = 0;
+    bool valid() const { return gen != 0; }
+    friend bool operator==(const PendingHandle&,
+                           const PendingHandle&) = default;
+  };
+  using PendingStore = Slab<Pending, PendingHandle>;
 
   /// Sample a span latency (scaled by current control-plane contention),
   /// record it under p's transaction starting `offset` after now, and
@@ -177,14 +189,15 @@ class Worker {
                 Duration offset = Duration::zero());
   double cp_scale() const;
 
-  void enqueue(PendingPtr p);
+  void enqueue(PendingHandle p);
   void pump();
-  void dispatch(PendingPtr p);
-  void cold_start(PendingPtr p);
-  void launch_exec(PendingPtr p, Container* c, bool cold);
-  void finish(PendingPtr p, Container* c, bool cold, bool ok,
+  void dispatch(PendingHandle p);
+  void cold_start(PendingHandle p);
+  void launch_exec(PendingHandle p, ContainerHandle c, bool cold);
+  void finish(PendingHandle p, ContainerHandle c, bool cold, bool ok,
               Duration actual_exec);
-  void fail(PendingPtr p);
+  /// Complete `p` with a failure result; consumes (erases) the pending.
+  void fail(PendingHandle p);
   void on_memory_released();
   void schedule_regulator_tick();
 
@@ -220,8 +233,11 @@ class Worker {
   ConcurrencyRegulator regulator_;
 
   std::size_t running_ = 0;
+  /// All in-flight invocations; erased on completion/failure so slots
+  /// recycle and steady state never allocates.
+  PendingStore pending_;
   /// Invocations that could not reserve memory; retried when memory frees.
-  std::vector<PendingPtr> waiting_memory_;
+  std::vector<PendingHandle> waiting_memory_;
   /// Mean execution-time inflation of recent completions (AIMD's optional
   /// congestion signal: actual execution / expected uncontended execution).
   MovingWindow recent_stretch_{32};

@@ -174,7 +174,10 @@ void SweepRunner::run_jobs(std::vector<std::function<void()>>&& jobs) {
   };
 
   if (workers == 1) {
-    for (std::size_t i = 0; i < n; ++i) guarded(i);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (stop_requested()) break;
+      guarded(i);
+    }
   } else {
     // Round-robin initial distribution; idle workers steal from the back of
     // their siblings' deques.
@@ -186,6 +189,9 @@ void SweepRunner::run_jobs(std::vector<std::function<void()>>&& jobs) {
     auto worker_loop = [&](unsigned me) {
       std::size_t idx;
       for (;;) {
+        // Cooperative cancellation: stop claiming; the job in flight (if
+        // any) already finished by the time we re-check here.
+        if (stop_requested()) return;
         if (deques[me].pop_front(idx)) {
           guarded(idx);
           continue;

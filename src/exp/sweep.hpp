@@ -1,9 +1,11 @@
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <optional>
 #include <ostream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -58,16 +60,31 @@ class SweepRunner {
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
 
-  /// Run all jobs to completion (blocking). Jobs are claimed from
-  /// per-worker deques with stealing, so imbalanced grids (one slow cell)
-  /// keep every core busy. The first exception thrown by a job is rethrown
-  /// here after all workers join.
+  /// Run all jobs (blocking). Jobs are claimed from per-worker deques with
+  /// stealing, so imbalanced grids (one slow cell) keep every core busy.
+  /// The first exception thrown by a job is rethrown here after all workers
+  /// join. If `request_stop` fires mid-run, in-flight jobs finish but no
+  /// further jobs start.
   void run_jobs(std::vector<std::function<void()>>&& jobs);
 
-  /// Typed convenience wrapper: runs every task, returns results in
-  /// submission order.
+  /// Cooperative cancellation: no further jobs are claimed after this is
+  /// called; jobs already running complete normally. Sticky for the
+  /// lifetime of the runner, and async-signal-safe (a lock-free atomic
+  /// store), so SIGINT handlers may call it directly — the fig4/fig5
+  /// drivers do, to print partial grids instead of dying mid-sweep.
+  void request_stop() noexcept {
+    stop_requested_.store(true, std::memory_order_relaxed);
+  }
+  bool stop_requested() const noexcept {
+    return stop_requested_.load(std::memory_order_relaxed);
+  }
+
+  /// Typed wrapper that tolerates cancellation: runs every task, returns
+  /// slots in submission order; cells skipped because of `request_stop`
+  /// come back empty.
   template <typename R>
-  std::vector<R> run(const std::vector<std::function<R()>>& tasks) {
+  std::vector<std::optional<R>> run_partial(
+      const std::vector<std::function<R()>>& tasks) {
     std::vector<std::optional<R>> slots(tasks.size());
     std::vector<std::function<void()>> jobs;
     jobs.reserve(tasks.size());
@@ -75,9 +92,25 @@ class SweepRunner {
       jobs.emplace_back([&slots, &tasks, i] { slots[i].emplace(tasks[i]()); });
     }
     run_jobs(std::move(jobs));
+    return slots;
+  }
+
+  /// Typed convenience wrapper: runs every task, returns results in
+  /// submission order. Throws if the sweep was cancelled before every cell
+  /// completed — callers that want the completed prefix use run_partial.
+  template <typename R>
+  std::vector<R> run(const std::vector<std::function<R()>>& tasks) {
+    std::vector<std::optional<R>> slots = run_partial(tasks);
     std::vector<R> out;
     out.reserve(slots.size());
-    for (auto& s : slots) out.push_back(std::move(*s));
+    for (auto& s : slots) {
+      if (!s) {
+        throw std::runtime_error(
+            "sweep cancelled before all cells completed; use run_partial() "
+            "for the finished subset");
+      }
+      out.push_back(std::move(*s));
+    }
     return out;
   }
 
@@ -87,6 +120,7 @@ class SweepRunner {
   MetricsRegistry metrics_;
   Counter* cells_done_ = nullptr;
   Gauge* cells_total_ = nullptr;
+  std::atomic<bool> stop_requested_{false};
 };
 
 /// Strip a `--threads N` flag from argv (any position) and return N; when

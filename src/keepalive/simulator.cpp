@@ -50,6 +50,7 @@ std::vector<KeepAliveSimResult> sweep_cache_sizes(
   tasks.reserve(capacities_mb.size());
   for (auto mb : capacities_mb) {
     tasks.emplace_back(
+        // ilu-lint: allow(const-ref-capture) - runner.run() joins before this scope exits
         [&trace, &policy_name, mb] {
           return run_keepalive_sim(trace, policy_name, mb);
         });

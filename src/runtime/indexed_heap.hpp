@@ -71,6 +71,11 @@ class IndexedHeap {
   /// Key of the minimum entry; nullptr when empty.
   const Key* peek_key() const { return heap_.empty() ? nullptr : &heap_[0].key; }
 
+  /// Value of the minimum entry without removing it; nullptr when empty.
+  const Value* peek_min() const {
+    return heap_.empty() ? nullptr : &slots_[heap_[0].slot].value;
+  }
+
   /// Remove and return the minimum entry's value (heap must be non-empty);
   /// the key is moved into *key_out when provided.
   Value pop_min(Key* key_out = nullptr) {

@@ -1,0 +1,46 @@
+// Fixture: const-ref-capture must fire on by-reference lambda captures that
+// escape the scope owning the captures — returned, handed to a deferring
+// callee, or stored in a container — and stay quiet on value captures,
+// immediately-invoked lambdas, and synchronous algorithm callbacks.
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+struct FakeRuntime {
+  template <typename F>
+  void schedule(int delay, F fn);
+  template <typename F>
+  void post(F fn);
+};
+
+std::function<int()> fixture_returned_ref() {
+  int local = 1;
+  return [&local] { return local; };  // finding: returned
+}
+
+void fixture_deferred_ref(FakeRuntime& rt) {
+  int local = 2;
+  rt.schedule(5, [&local] { local = 3; });  // finding: deferred
+  rt.post([&] { local = 4; });              // finding: deferred
+  rt.schedule(5, [local] { (void)local; }); // no finding (value capture)
+  rt.post([p = &local] { *p = 5; });        // no finding (& is address-of)
+}
+
+void fixture_stored_ref(std::vector<std::function<int()>>& sink) {
+  int local = 6;
+  sink.push_back([&] { return local; });          // finding: stored
+  sink.emplace_back([&local] { return local; });  // finding: stored
+  sink.push_back([local] { return local; });      // no finding
+}
+
+int fixture_local_use_is_fine(std::vector<int>& v) {
+  int bound = 7;
+  // Synchronous callee: the lambda dies before the scope does.
+  std::sort(v.begin(), v.end(),
+            [&bound](int a, int b) { return (a % bound) < (b % bound); });
+  int arr[2] = {1, 2};
+  int sub = arr[0];  // subscript, not a lambda introducer
+  // Immediately-invoked initializer, a common config-builder idiom here.
+  int cfg = [&] { return bound + sub; }();
+  return cfg;
+}

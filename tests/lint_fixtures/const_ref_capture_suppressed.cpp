@@ -1,0 +1,11 @@
+// Fixture: storing ref-capturing jobs is legal when the annotation explains
+// why the captures outlive them (here: the runner joins inside the scope).
+#include <functional>
+#include <vector>
+
+void fixture_const_ref_capture_suppressed(
+    std::vector<std::function<int()>>& jobs) {
+  int shared = 1;
+  // ilu-lint: allow(const-ref-capture) - jobs are joined before scope exit
+  jobs.emplace_back([&shared] { return shared; });
+}

@@ -15,19 +15,18 @@ class ContainerPoolTest : public ::testing::Test {
               ContainerPool::Config{.capacity_mb = 1000,
                                     .free_buffer_mb = 0,
                                     .sweep_interval = msecs(500)},
-              [this](std::unique_ptr<Container> c) {
-                evicted_.push_back(c->fn);
-              }) {}
+              [this](const Container& c) { evicted_.push_back(c.fn); }) {}
 
-  Container* make_running(FunctionId fn, std::uint32_t mem) {
+  ContainerHandle make_running(FunctionId fn, std::uint32_t mem) {
     auto profile = lookbusy(secs(1), mem, secs(1));
-    Container* c = pool_.add_container(fn, profile, rt_.now());
-    if (c != nullptr) {
-      c->state = ContainerState::Launching;
-      c->state = ContainerState::Running;
-      ++c->entry.uses;
+    ContainerHandle h = pool_.add_container(fn, profile, rt_.now());
+    if (h.valid()) {
+      Container& c = pool_.get(h);
+      c.state = ContainerState::Launching;
+      c.state = ContainerState::Running;
+      ++c.entry.uses;
     }
-    return c;
+    return h;
   }
 
   SimRuntime rt_;
@@ -37,8 +36,8 @@ class ContainerPoolTest : public ::testing::Test {
 };
 
 TEST_F(ContainerPoolTest, AddReservesMemory) {
-  auto* c = make_running(0, 300);
-  ASSERT_NE(c, nullptr);
+  ContainerHandle c = make_running(0, 300);
+  ASSERT_TRUE(c.valid());
   EXPECT_EQ(pool_.used_mb(), 300u);
   EXPECT_EQ(pool_.total_count(), 1u);
   EXPECT_EQ(pool_.idle_count(), 0u);
@@ -46,60 +45,60 @@ TEST_F(ContainerPoolTest, AddReservesMemory) {
 
 TEST_F(ContainerPoolTest, AcquireReturnsNullWhenNoIdle) {
   make_running(0, 300);
-  EXPECT_EQ(pool_.acquire(0, rt_.now()), nullptr);
+  EXPECT_FALSE(pool_.acquire(0, rt_.now()).valid());
 }
 
 TEST_F(ContainerPoolTest, ReturnThenAcquireReusesContainer) {
-  auto* c = make_running(0, 300);
+  ContainerHandle c = make_running(0, 300);
   pool_.return_container(c, secs(1));
   EXPECT_TRUE(pool_.has_idle(0));
-  auto* got = pool_.acquire(0, secs(2));
+  ContainerHandle got = pool_.acquire(0, secs(2));
   EXPECT_EQ(got, c);
-  EXPECT_EQ(got->state, ContainerState::Running);
-  EXPECT_EQ(got->entry.uses, 2u);
+  EXPECT_EQ(pool_.get(got).state, ContainerState::Running);
+  EXPECT_EQ(pool_.get(got).entry.uses, 2u);
 }
 
 TEST_F(ContainerPoolTest, AcquirePicksMostRecentlyUsed) {
-  auto* a = make_running(0, 100);
-  auto* b = make_running(0, 100);
+  ContainerHandle a = make_running(0, 100);
+  ContainerHandle b = make_running(0, 100);
   pool_.return_container(a, secs(1));
   pool_.return_container(b, secs(2));
   EXPECT_EQ(pool_.acquire(0, secs(3)), b);
 }
 
 TEST_F(ContainerPoolTest, MemoryPressureEvictsIdleLru) {
-  auto* a = make_running(0, 400);
-  auto* b = make_running(1, 400);
+  ContainerHandle a = make_running(0, 400);
+  ContainerHandle b = make_running(1, 400);
   pool_.return_container(a, secs(1));
   pool_.return_container(b, secs(2));
   // 800 used; adding 300 must evict fn0 (older).
-  auto* c = make_running(2, 300);
-  ASSERT_NE(c, nullptr);
+  ContainerHandle c = make_running(2, 300);
+  ASSERT_TRUE(c.valid());
   ASSERT_EQ(evicted_.size(), 1u);
   EXPECT_EQ(evicted_[0], 0u);
   EXPECT_EQ(pool_.evictions(), 1u);
+  // The evicted container's handle is now stale.
+  EXPECT_FALSE(pool_.alive(a));
+  EXPECT_TRUE(pool_.alive(b));
 }
 
 TEST_F(ContainerPoolTest, BusyContainersCannotBeEvicted) {
   make_running(0, 600);
   make_running(1, 300);
   // All 900 busy; a 200 MB add must fail.
-  EXPECT_EQ(make_running(2, 200), nullptr);
+  EXPECT_FALSE(make_running(2, 200).valid());
   EXPECT_TRUE(evicted_.empty());
 }
 
 TEST_F(ContainerPoolTest, RemoveReleasesMemoryWithoutEvictionCallback) {
-  auto* c = make_running(0, 300);
+  ContainerHandle c = make_running(0, 300);
   pool_.remove(c);
   EXPECT_EQ(pool_.used_mb(), 0u);
   EXPECT_TRUE(evicted_.empty());
+  EXPECT_FALSE(pool_.alive(c));
 }
 
 TEST_F(ContainerPoolTest, SweepRestoresFreeBuffer) {
-  auto* a = make_running(0, 400);
-  auto* b = make_running(1, 400);
-  pool_.return_container(a, secs(1));
-  pool_.return_container(b, secs(2));
   // Require 500 free: sweep must evict one 400 MB idle container.
   ContainerPool::Config cfg{.capacity_mb = 1000,
                             .free_buffer_mb = 500,
@@ -108,15 +107,15 @@ TEST_F(ContainerPoolTest, SweepRestoresFreeBuffer) {
   std::vector<FunctionId> evicted;
   LruPolicy policy;
   ContainerPool pool(rt_, policy, cfg,
-                     [&](std::unique_ptr<Container> c) {
-                       evicted.push_back(c->fn);
-                     });
-  auto* x = pool.add_container(0, lookbusy(secs(1), 400, secs(1)), rt_.now());
-  x->state = ContainerState::Launching;
-  x->state = ContainerState::Running;
-  auto* y = pool.add_container(1, lookbusy(secs(1), 400, secs(1)), rt_.now());
-  y->state = ContainerState::Launching;
-  y->state = ContainerState::Running;
+                     [&](const Container& c) { evicted.push_back(c.fn); });
+  ContainerHandle x =
+      pool.add_container(0, lookbusy(secs(1), 400, secs(1)), rt_.now());
+  pool.get(x).state = ContainerState::Launching;
+  pool.get(x).state = ContainerState::Running;
+  ContainerHandle y =
+      pool.add_container(1, lookbusy(secs(1), 400, secs(1)), rt_.now());
+  pool.get(y).state = ContainerState::Launching;
+  pool.get(y).state = ContainerState::Running;
   pool.return_container(x, secs(1));
   pool.return_container(y, secs(2));
   pool.sweep(secs(3));
@@ -131,12 +130,11 @@ TEST_F(ContainerPoolTest, BackgroundSweepRunsOnTimer) {
                      ContainerPool::Config{.capacity_mb = 1000,
                                            .free_buffer_mb = 0,
                                            .sweep_interval = secs(1)},
-                     [&](std::unique_ptr<Container> c) {
-                       evicted.push_back(c->fn);
-                     });
-  auto* c = pool.add_container(0, lookbusy(secs(1), 100, secs(1)), rt_.now());
-  c->state = ContainerState::Launching;
-  c->state = ContainerState::Running;
+                     [&](const Container& c) { evicted.push_back(c.fn); });
+  ContainerHandle c =
+      pool.add_container(0, lookbusy(secs(1), 100, secs(1)), rt_.now());
+  pool.get(c).state = ContainerState::Launching;
+  pool.get(c).state = ContainerState::Running;
   pool.return_container(c, rt_.now());
   pool.start();
   rt_.run_until(secs(10));
@@ -153,7 +151,7 @@ TEST_F(ContainerPoolTest, StopCancelsSweepTimer) {
 }
 
 TEST_F(ContainerPoolTest, ShrinkCapacityEvictsIdle) {
-  auto* a = make_running(0, 400);
+  ContainerHandle a = make_running(0, 400);
   pool_.return_container(a, secs(1));
   pool_.set_capacity_mb(100);
   EXPECT_EQ(pool_.used_mb(), 0u);
@@ -162,11 +160,23 @@ TEST_F(ContainerPoolTest, ShrinkCapacityEvictsIdle) {
 
 TEST_F(ContainerPoolTest, ParkPrewarmedMakesIdle) {
   auto profile = lookbusy(secs(1), 200, secs(1));
-  Container* c = pool_.add_container(3, profile, rt_.now());
-  c->state = ContainerState::Launching;
+  ContainerHandle c = pool_.add_container(3, profile, rt_.now());
+  pool_.get(c).state = ContainerState::Launching;
   pool_.park_prewarmed(c, rt_.now());
   EXPECT_TRUE(pool_.has_idle(3));
   EXPECT_EQ(pool_.acquire(3, rt_.now()), c);
+}
+
+TEST_F(ContainerPoolTest, SlotRecyclingBumpsGeneration) {
+  ContainerHandle a = make_running(0, 100);
+  pool_.remove(a);
+  // Next add reuses the slot with a new generation: same index, stale old
+  // handle.
+  ContainerHandle b = make_running(0, 100);
+  EXPECT_EQ(b.index, a.index);
+  EXPECT_NE(b.gen, a.gen);
+  EXPECT_FALSE(pool_.alive(a));
+  EXPECT_TRUE(pool_.alive(b));
 }
 
 }  // namespace

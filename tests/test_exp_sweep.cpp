@@ -203,6 +203,77 @@ TEST(SweepRunner, RestoresLogSinkWhenTaskThrows) {
   EXPECT_NE(text.find("after sweep"), std::string::npos);
 }
 
+TEST(SweepRunner, StopRequestSkipsRemainingCells) {
+  // Sequential runner: job 3 requests a stop, so jobs 4.. never run and
+  // run_partial returns them as empty slots.
+  exp::SweepRunner runner({.threads = 1, .capture_logs = false});
+  std::vector<std::function<int()>> tasks;
+  for (int i = 0; i < 10; ++i) {
+    tasks.emplace_back([i, &runner] {
+      if (i == 3) runner.request_stop();
+      return i * i;
+    });
+  }
+  auto slots = runner.run_partial(tasks);
+  ASSERT_EQ(slots.size(), 10u);
+  for (int i = 0; i <= 3; ++i) {
+    ASSERT_TRUE(slots[static_cast<std::size_t>(i)].has_value()) << i;
+    EXPECT_EQ(*slots[static_cast<std::size_t>(i)], i * i);
+  }
+  for (int i = 4; i < 10; ++i) {
+    EXPECT_FALSE(slots[static_cast<std::size_t>(i)].has_value()) << i;
+  }
+  EXPECT_TRUE(runner.stop_requested());
+}
+
+TEST(SweepRunner, StopRequestStopsParallelWorkersPromptly) {
+  // In-flight jobs complete, and no job starts after the stop flag is
+  // visible; with the flag raised by the first job, far fewer than all
+  // cells should run (each worker claims at most a few before re-checking).
+  exp::SweepRunner runner({.threads = 4, .capture_logs = false});
+  std::atomic<int> ran{0};
+  std::vector<std::function<int()>> tasks;
+  for (int i = 0; i < 1000; ++i) {
+    tasks.emplace_back([i, &ran, &runner] {
+      runner.request_stop();
+      ran.fetch_add(1);
+      return i;
+    });
+  }
+  auto slots = runner.run_partial(tasks);
+  int filled = 0;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (slots[i].has_value()) {
+      ++filled;
+      EXPECT_EQ(*slots[i], static_cast<int>(i));
+    }
+  }
+  EXPECT_EQ(filled, ran.load());
+  EXPECT_LT(filled, 1000) << "stop flag ignored: every cell still ran";
+}
+
+TEST(SweepRunner, RunThrowsWhenCancelled) {
+  exp::SweepRunner runner({.threads = 1, .capture_logs = false});
+  std::vector<std::function<int()>> tasks;
+  for (int i = 0; i < 4; ++i) {
+    tasks.emplace_back([i, &runner] {
+      runner.request_stop();
+      return i;
+    });
+  }
+  EXPECT_THROW((void)runner.run(tasks), std::runtime_error);
+}
+
+TEST(SweepRunner, StopIsStickyAcrossRuns) {
+  exp::SweepRunner runner({.threads = 1, .capture_logs = false});
+  runner.request_stop();
+  std::vector<std::function<int()>> tasks;
+  tasks.emplace_back([] { return 1; });
+  auto slots = runner.run_partial(tasks);
+  EXPECT_FALSE(slots[0].has_value())
+      << "a stopped runner must stay stopped (SIGINT between runs)";
+}
+
 TEST(SweepRunner, ResolvesThreadCounts) {
   EXPECT_GE(exp::SweepRunner({.threads = 0}).threads(), 1u);
   EXPECT_EQ(exp::SweepRunner({.threads = 3}).threads(), 3u);

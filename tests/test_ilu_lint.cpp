@@ -52,7 +52,8 @@ TEST(IluLint, CatalogueListsAllChecks) {
   for (const auto& c : ilu::lint::checks()) names.insert(c.name);
   EXPECT_EQ(names, (std::set<std::string>{
                        "wall-clock", "unordered-iter", "ptr-order",
-                       "raw-thread", "std-function-hotpath"}));
+                       "raw-thread", "std-function-hotpath",
+                       "const-ref-capture"}));
 }
 
 // ---- wall-clock ----------------------------------------------------------
@@ -188,6 +189,30 @@ TEST(IluLint, StdFunctionHotpathScopedToHotHeaders) {
     auto fs = lint_fixture_at("std_function_hotpath.hpp", path);
     EXPECT_EQ(count_check(fs, "std-function-hotpath"), 0) << "at " << path;
   }
+}
+
+// ---- const-ref-capture ---------------------------------------------------
+
+TEST(IluLint, ConstRefCaptureFires) {
+  auto fs = lint_fixture_at("const_ref_capture.cpp", "core/fixture.cpp");
+  EXPECT_EQ(count_check(fs, "const-ref-capture"), 5)
+      << "one returned, two deferred, two stored; value captures, "
+         "address-of init-captures, std::sort callbacks, and IIFEs stay "
+         "clean";
+  EXPECT_EQ(check_names(fs), std::set<std::string>{"const-ref-capture"});
+}
+
+TEST(IluLint, ConstRefCaptureSuppressed) {
+  auto fs = lint_fixture_at("const_ref_capture_suppressed.cpp",
+                            "core/fixture.cpp");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(IluLint, ConstRefCaptureExemptsSweepMachinery) {
+  // exp/ fans ref-capturing jobs into worker threads and joins them before
+  // the scope exits, by design.
+  auto fs = lint_fixture_at("const_ref_capture.cpp", "exp/fixture.cpp");
+  EXPECT_EQ(count_check(fs, "const-ref-capture"), 0);
 }
 
 // ---- suppression grammar -------------------------------------------------

@@ -139,9 +139,9 @@ TEST(FuzzContainerPool, RandomOpsPreserveInvariants) {
                      ContainerPool::Config{.capacity_mb = 3000,
                                            .free_buffer_mb = 0,
                                            .sweep_interval = Duration::zero()},
-                     [&](std::unique_ptr<Container>) { ++evicted; });
+                     [&](const Container&) { ++evicted; });
   Rng rng(7);
-  std::vector<Container*> running;
+  std::vector<ContainerHandle> running;
   std::uint64_t created = 0, removed = 0, returned = 0, acquired = 0;
 
   for (int step = 0; step < 20000; ++step) {
@@ -149,10 +149,10 @@ TEST(FuzzContainerPool, RandomOpsPreserveInvariants) {
     TimePoint now = usecs(step);
     if (dice < 0.40) {
       auto fn = static_cast<FunctionId>(rng.uniform_index(10));
-      Container* c = pool.acquire(fn, now);
-      if (c != nullptr) {
-        ASSERT_EQ(c->state, ContainerState::Running);
-        ASSERT_EQ(c->fn, fn);
+      ContainerHandle c = pool.acquire(fn, now);
+      if (c.valid()) {
+        ASSERT_EQ(pool.get(c).state, ContainerState::Running);
+        ASSERT_EQ(pool.get(c).fn, fn);
         running.push_back(c);
         ++acquired;
       }
@@ -160,10 +160,10 @@ TEST(FuzzContainerPool, RandomOpsPreserveInvariants) {
       auto fn = static_cast<FunctionId>(rng.uniform_index(10));
       auto profile =
           lookbusy(msecs(100), 100 + 37 * (fn % 5), msecs(500));
-      Container* c = pool.add_container(fn, profile, now);
-      if (c != nullptr) {
-        c->state = ContainerState::Launching;
-        c->state = ContainerState::Running;
+      ContainerHandle c = pool.add_container(fn, profile, now);
+      if (c.valid()) {
+        pool.get(c).state = ContainerState::Launching;
+        pool.get(c).state = ContainerState::Running;
         running.push_back(c);
         ++created;
       }

@@ -1,0 +1,45 @@
+#!/bin/sh
+# Install the repo's git hooks. Currently: a pre-commit hook that runs
+# ilu-lint (tools/lint) over the staged .cpp/.hpp files, so determinism-rule
+# violations are caught before they reach CI's `ilu_lint` ctest run.
+#
+# Usage: tools/install_hooks.sh   (from anywhere inside the repo)
+#
+# The hook looks for the linter at build/tools/ilu_lint (or $ILU_LINT if
+# set). When the binary is missing it warns and lets the commit through —
+# the full-tree lint still gates in ctest — so a fresh clone without a build
+# directory can still commit. Bypass a single commit with `git commit
+# --no-verify`.
+set -eu
+
+repo_root=$(git rev-parse --show-toplevel)
+hooks_dir=$(git -C "$repo_root" rev-parse --git-path hooks)
+
+mkdir -p "$hooks_dir"
+cat > "$hooks_dir/pre-commit" <<'HOOK'
+#!/bin/sh
+# Installed by tools/install_hooks.sh — lint staged sources with ilu-lint.
+set -u
+
+repo_root=$(git rev-parse --show-toplevel)
+lint=${ILU_LINT:-"$repo_root/build/tools/ilu_lint"}
+
+staged=$(git diff --cached --name-only --diff-filter=ACMR -- \
+           'src/*.cpp' 'src/*.hpp' 'src/*.cc' 'src/*.h')
+[ -z "$staged" ] && exit 0
+
+if [ ! -x "$lint" ]; then
+  echo "pre-commit: $lint not built; skipping ilu-lint (ctest still runs it)" >&2
+  exit 0
+fi
+
+# shellcheck disable=SC2086 — staged paths are newline-split on purpose
+cd "$repo_root" && set -- $staged
+if ! "$lint" --file "$@"; then
+  echo "pre-commit: ilu-lint findings in staged files (fix, suppress with" >&2
+  echo "a reasoned allow() annotation, or bypass with --no-verify)" >&2
+  exit 1
+fi
+HOOK
+chmod +x "$hooks_dir/pre-commit"
+echo "installed $hooks_dir/pre-commit"

@@ -353,6 +353,125 @@ void check_std_function_hotpath(const Tokens& ts, const std::string& rel,
 }
 
 // ---------------------------------------------------------------------------
+// const-ref-capture
+// ---------------------------------------------------------------------------
+
+/// The sweep machinery fans ref-capturing job lambdas into worker threads
+/// and joins them before the enclosing scope exits, by design.
+constexpr std::string_view kRefCaptureExempt[] = {"exp/"};
+
+/// Callees that run their callback argument after the calling scope may
+/// have returned (Runtime::schedule/post and friends).
+bool is_deferral_callee(std::string_view id) {
+  return id == "schedule" || id == "schedule_at" || id == "post" ||
+         id == "send" || id == "defer";
+}
+
+/// Callees that stow their argument in a container, where it can outlive
+/// the captured locals.
+bool is_storage_callee(std::string_view id) {
+  return id == "push_back" || id == "emplace_back" || id == "emplace" ||
+         id == "push";
+}
+
+/// Does the capture list in (open, close) capture anything by reference?
+/// A `&` right after `[` or `,` is a capture-default or `&name` capture;
+/// `&` elsewhere is address-of inside an init-capture and stays legal.
+bool has_ref_capture(const Tokens& ts, std::size_t open, std::size_t close) {
+  for (std::size_t j = open + 1; j < close; ++j) {
+    if (is_punct(ts[j], "&") &&
+        (is_punct(ts[j - 1], "[") || is_punct(ts[j - 1], ","))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Find the callee identifier of the innermost function call enclosing
+/// token `i` (scanning backward to the unmatched `(`), or "" when `i` is
+/// not a call argument.
+std::string_view enclosing_callee(const Tokens& ts, std::size_t i) {
+  int depth = 0;
+  for (std::size_t j = i; j-- > 0;) {
+    const Token& t = ts[j];
+    if (is_punct(t, ")") || is_punct(t, "]") || is_punct(t, "}")) {
+      ++depth;
+    } else if (is_punct(t, "(")) {
+      if (depth == 0) {
+        return j > 0 && ts[j - 1].kind == Tok::Identifier ? ts[j - 1].text
+                                                          : std::string_view{};
+      }
+      --depth;
+    } else if (is_punct(t, "[") || is_punct(t, "{")) {
+      if (depth == 0) return {};  // brace-init or subscript, not a call
+      --depth;
+    } else if (depth == 0 && is_punct(t, ";")) {
+      return {};
+    }
+  }
+  return {};
+}
+
+void check_const_ref_capture(const Tokens& ts, const std::string& rel,
+                             std::vector<Finding>& out) {
+  if (in_any(rel, kRefCaptureExempt)) return;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    if (!is_punct(ts[i], "[")) continue;
+    // Rule out attributes ([[...]]) and subscripts (previous token is a
+    // value expression; `return` lexes as an identifier but introduces a
+    // lambda, not a subscript).
+    if (i + 1 < ts.size() && is_punct(ts[i + 1], "[")) continue;
+    bool after_return = i > 0 && is_id(ts[i - 1], "return");
+    if (!after_return && i > 0 &&
+        (ts[i - 1].kind == Tok::Identifier || is_punct(ts[i - 1], "]") ||
+         is_punct(ts[i - 1], ")"))) {
+      continue;
+    }
+    // Find the introducer's closing `]`; a lambda follows it with `(` or
+    // `{`.
+    int depth = 0;
+    std::size_t close = 0;
+    for (std::size_t j = i; j < ts.size(); ++j) {
+      if (is_punct(ts[j], "[")) {
+        ++depth;
+      } else if (is_punct(ts[j], "]")) {
+        if (--depth == 0) {
+          close = j;
+          break;
+        }
+      } else if (is_punct(ts[j], ";")) {
+        break;
+      }
+    }
+    if (close == 0 || close + 1 >= ts.size() ||
+        !(is_punct(ts[close + 1], "(") || is_punct(ts[close + 1], "{"))) {
+      continue;
+    }
+    if (!has_ref_capture(ts, i, close)) continue;
+
+    if (after_return) {
+      out.push_back({rel, ts[i].line, "const-ref-capture",
+                     "returned lambda captures locals by reference; the "
+                     "captures dangle once the function exits — capture by "
+                     "value or a slab handle"});
+      continue;
+    }
+    std::string_view callee = enclosing_callee(ts, i);
+    if (is_deferral_callee(callee)) {
+      out.push_back({rel, ts[i].line, "const-ref-capture",
+                     "ref-capturing lambda passed to `" + std::string(callee) +
+                         "(...)`, which defers execution past the current "
+                         "scope — capture by value or a slab handle"});
+    } else if (is_storage_callee(callee)) {
+      out.push_back({rel, ts[i].line, "const-ref-capture",
+                     "ref-capturing lambda stored via `" + std::string(callee) +
+                         "(...)` can outlive the captured scope — capture by "
+                         "value or a slab handle"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Suppressions
 // ---------------------------------------------------------------------------
 
@@ -458,6 +577,10 @@ const std::vector<CheckInfo>& checks() {
       {"std-function-hotpath",
        "no std::function in runtime/, queueing/, core/ headers — use "
        "ilu::Task"},
+      {"const-ref-capture",
+       "no by-reference lambda captures that escape the scope — returned, "
+       "passed to schedule/post/send/defer, or stored via "
+       "push_back/emplace(_back) — outside exp/"},
   };
   return kChecks;
 }
@@ -480,6 +603,7 @@ std::vector<Finding> lint_file(const FileInput& in) {
   check_ptr_order(ts, in.rel_path, raw);
   check_raw_thread(ts, in.rel_path, raw);
   check_std_function_hotpath(ts, in.rel_path, raw);
+  check_const_ref_capture(ts, in.rel_path, raw);
 
   std::vector<Suppression> sups;
   std::vector<Finding> out;

@@ -33,6 +33,13 @@
 ///                         exp/, obs/, util/log.*, util/dcheck.*.
 ///   std-function-hotpath  std::function in runtime/, queueing/, or core/
 ///                         headers — use ilu::Task (runtime/task.hpp).
+///   const-ref-capture     lambdas with by-reference captures that escape
+///                         the scope that owns the captured locals: returned,
+///                         passed to a deferring callee (schedule,
+///                         schedule_at, post, send, defer), or stored via
+///                         push_back/emplace_back/emplace/push. Exempt:
+///                         exp/ (the sweep machinery joins its ref-capturing
+///                         jobs before the scope exits, by design).
 ///
 /// Suppression: a finding on line L is suppressed by a comment on L (or a
 /// comment-only line immediately above) of the form

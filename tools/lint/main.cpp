@@ -2,6 +2,9 @@
 //
 //   ilu-lint [--root DIR]      lint <DIR>/src (default: .)
 //   ilu-lint --src DIR         lint DIR directly
+//   ilu-lint --file F [F...]   lint individual files (pre-commit mode);
+//                              paths outside a src/ tree are skipped, since
+//                              the checks only govern simulation code
 //   ilu-lint --list-checks     print the check catalogue
 //
 // Exit status: 0 when the tree is clean, 1 when findings were reported,
@@ -12,18 +15,71 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "lint/lint.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const fs::path& p) {
+  std::ifstream f(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+/// Path of `p` relative to its nearest `src` ancestor ("" when `p` is not
+/// under one): check scopes and allowlists are src/-relative.
+std::string src_relative(const fs::path& p) {
+  fs::path abs = fs::absolute(p).lexically_normal();
+  for (fs::path dir = abs.parent_path(); !dir.empty();
+       dir = dir.parent_path()) {
+    if (dir.filename() == "src") {
+      return abs.lexically_relative(dir).generic_string();
+    }
+    if (dir == dir.parent_path()) break;
+  }
+  return {};
+}
+
+/// Lint one on-disk file the way the tree walk would (paired header
+/// included). Returns findings; `skipped` reports non-src/ paths.
+std::vector<ilu::lint::Finding> lint_one(const fs::path& p, bool* skipped) {
+  *skipped = false;
+  std::string rel = src_relative(p);
+  if (rel.empty()) {
+    *skipped = true;
+    return {};
+  }
+  ilu::lint::FileInput in;
+  in.rel_path = rel;
+  in.content = slurp(p);
+  if (p.extension() == ".cpp" || p.extension() == ".cc") {
+    fs::path header = p;
+    header.replace_extension(".hpp");
+    if (fs::exists(header)) in.paired_header = slurp(header);
+  }
+  return ilu::lint::lint_file(in);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::string root = ".";
   std::string src;
+  std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
       root = argv[++i];
     } else if (std::strcmp(argv[i], "--src") == 0 && i + 1 < argc) {
       src = argv[++i];
+    } else if (std::strcmp(argv[i], "--file") == 0) {
+      for (++i; i < argc; ++i) files.emplace_back(argv[i]);
     } else if (std::strcmp(argv[i], "--list-checks") == 0) {
       for (const auto& c : ilu::lint::checks()) {
         std::printf("%-22s %s\n", c.name, c.description);
@@ -32,23 +88,51 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: ilu-lint [--root DIR | --src DIR | "
-                   "--list-checks]\n");
+                   "--file F [F...] | --list-checks]\n");
       return 2;
     }
   }
+
+  if (!files.empty()) {
+    std::size_t findings = 0, scanned = 0, skipped = 0;
+    for (const std::string& f : files) {
+      if (!fs::is_regular_file(f)) {
+        std::fprintf(stderr, "ilu-lint: no such file: %s\n", f.c_str());
+        return 2;
+      }
+      bool skip = false;
+      auto fs_ = lint_one(f, &skip);
+      if (skip) {
+        ++skipped;
+        continue;
+      }
+      ++scanned;
+      for (const auto& x : fs_) {
+        std::printf("%s:%d: [%s] %s\n", f.c_str(), x.line, x.check.c_str(),
+                    x.message.c_str());
+      }
+      findings += fs_.size();
+    }
+    std::fprintf(stderr,
+                 "ilu-lint: %zu file(s) scanned, %zu skipped (outside src/), "
+                 "%zu finding(s)\n",
+                 scanned, skipped, findings);
+    return findings == 0 ? 0 : 1;
+  }
+
   if (src.empty()) src = root + "/src";
-  if (!std::filesystem::is_directory(src)) {
+  if (!fs::is_directory(src)) {
     std::fprintf(stderr, "ilu-lint: no such directory: %s\n", src.c_str());
     return 2;
   }
 
-  std::size_t files = 0;
-  auto findings = ilu::lint::lint_tree(src, &files);
+  std::size_t n = 0;
+  auto findings = ilu::lint::lint_tree(src, &n);
   for (const auto& f : findings) {
     std::printf("%s/%s:%d: [%s] %s\n", src.c_str(), f.path.c_str(), f.line,
                 f.check.c_str(), f.message.c_str());
   }
-  std::fprintf(stderr, "ilu-lint: %zu file(s) scanned, %zu finding(s)\n",
-               files, findings.size());
+  std::fprintf(stderr, "ilu-lint: %zu file(s) scanned, %zu finding(s)\n", n,
+               findings.size());
   return findings.empty() ? 0 : 1;
 }
