@@ -83,12 +83,51 @@ double ns_per_metric_update(int iters) {
   return wall_us(t0, t1) * 1e3 / iters;
 }
 
+/// Nanoseconds per flight-recorder record() on this thread's ring. The
+/// enabled path is two relaxed stores plus a release head bump; the disabled
+/// path is one relaxed flag load and must stay free.
+double ns_per_flight_event(bool enabled, int iters) {
+  flight::Recorder rec(enabled);
+  auto t0 = Clock::now();
+  for (int i = 0; i < iters; ++i) {
+    rec.record(static_cast<std::uint64_t>(i), flight::Ev::kQueueEnq,
+               static_cast<std::uint32_t>(i));
+  }
+  auto t1 = Clock::now();
+  return wall_us(t0, t1) * 1e3 / iters;
+}
+
+/// Nanoseconds per LogHistogram::observe (bit_width bucket index + two
+/// relaxed fetch_adds + extreme CAS).
+double ns_per_log_hist_record(int iters) {
+  LogHistogram h;
+  auto t0 = Clock::now();
+  for (int i = 0; i < iters; ++i) {
+    h.observe(0.05 + static_cast<double>(i % 400));
+  }
+  auto t1 = Clock::now();
+  return wall_us(t0, t1) * 1e3 / iters;
+}
+
 double median_of_5(double (*f)(bool, int), bool arg, int n) {
   std::vector<double> xs;
   for (int i = 0; i < 5; ++i) xs.push_back(f(arg, n));
   std::sort(xs.begin(), xs.end());
   return xs[2];
 }
+
+double median_of_5_int(double (*f)(int), int n) {
+  std::vector<double> xs;
+  for (int i = 0; i < 5; ++i) xs.push_back(f(n));
+  std::sort(xs.begin(), xs.end());
+  return xs[2];
+}
+
+/// The seed (pre-flight-recorder) hot path paid zero for the recorder; the
+/// disabled path is one relaxed load and must stay within noise of that.
+/// 5 ns/event is ~15 cycles — far above the real cost, far below a real
+/// regression (an accidental mutex or map lookup is 20-100+ ns).
+constexpr double kDisabledBudgetNs = 5.0;
 
 }  // namespace
 
@@ -103,6 +142,9 @@ int main() {
   double rec_on_ns = ns_per_record(true, 200000);
   double rec_off_ns = ns_per_record(false, 200000);
   double metric_ns = ns_per_metric_update(200000);
+  double flight_on_ns = median_of_5(ns_per_flight_event, true, 1000000);
+  double flight_off_ns = median_of_5(ns_per_flight_event, false, 1000000);
+  double log_hist_ns = median_of_5_int(ns_per_log_hist_record, 1000000);
 
   double delta_pct = off_us > 0.0 ? (on_us - off_us) / off_us * 100.0 : 0.0;
 
@@ -115,6 +157,10 @@ int main() {
   std::printf("%-44s %10.1f ns\n", "tracer record() (disabled)", rec_off_ns);
   std::printf("%-44s %10.1f ns\n", "counter inc + histogram observe",
               metric_ns);
+  std::printf("%-44s %10.1f ns\n", "flight record() (enabled)", flight_on_ns);
+  std::printf("%-44s %10.1f ns\n", "flight record() (disabled)",
+              flight_off_ns);
+  std::printf("%-44s %10.1f ns\n", "log-histogram observe()", log_hist_ns);
   std::printf(
       "\nThe disabled path is a single relaxed atomic load; the full worker\n"
       "pipeline with tracing off must match the pre-observability seed\n"
@@ -128,9 +174,20 @@ int main() {
   o["record_ns_enabled"] = rec_on_ns;
   o["record_ns_disabled"] = rec_off_ns;
   o["metric_update_ns"] = metric_ns;
+  o["flight_record_ns_enabled"] = flight_on_ns;
+  o["flight_record_ns_disabled"] = flight_off_ns;
+  o["log_hist_observe_ns"] = log_hist_ns;
   std::string path = results_dir() + "/obs_overhead.json";
   std::ofstream out(path);
   out << JsonValue(std::move(o)).dump(2) << "\n";
   std::printf("wrote %s\n", path.c_str());
+
+  if (flight_off_ns > kDisabledBudgetNs) {
+    std::fprintf(stderr,
+                 "FAIL: disabled flight recorder costs %.1f ns/event "
+                 "(budget %.1f ns) — the always-off path regressed\n",
+                 flight_off_ns, kDisabledBudgetNs);
+    return 1;
+  }
   return 0;
 }

@@ -17,7 +17,8 @@
 // aos_events_per_sec, arena_events_per_sec}, cluster_scaling:{shards,
 // completed, wall_s_serial, wall_s_sharded, speedup, equivalent},
 // fig4_sweep:{cells, threads, wall_s_1thread, wall_s_nthreads, speedup},
-// lint:{files, findings, wall_s}}]}.
+// lint:{files, findings, wall_s}, obs:{recorder_ns_per_event,
+// recorder_disabled_ns_per_event, hist_ns_per_record}}]}.
 // Fields are only ever added, never renamed, so downstream tooling can diff
 // runs across PRs. Note: on a 1-core CI host cluster_scaling.speedup < 1 by
 // construction (barriers with no parallel hardware); `equivalent` is the
@@ -430,6 +431,51 @@ struct LintTiming {
   double wall_s = 0.0;
 };
 
+/// Flight-recorder and log-histogram hot-path unit costs, tracked per PR so
+/// the always-on observability budget (<= ~20 ns/event enabled, free when
+/// disabled) is enforced by trajectory, not prose.
+struct ObsTiming {
+  double recorder_ns_per_event = 0.0;
+  double recorder_disabled_ns_per_event = 0.0;
+  double hist_ns_per_record = 0.0;
+};
+
+ObsTiming obs_timing(int iters) {
+  ObsTiming out;
+  auto ns_per = [&](auto&& body) {
+    auto t0 = Clock::now();
+    body();
+    return seconds_since(t0) * 1e9 / iters;
+  };
+  {
+    flight::Recorder rec(true);
+    out.recorder_ns_per_event = ns_per([&] {
+      for (int i = 0; i < iters; ++i) {
+        rec.record(static_cast<std::uint64_t>(i), flight::Ev::kQueueEnq,
+                   static_cast<std::uint32_t>(i));
+      }
+    });
+  }
+  {
+    flight::Recorder rec(false);
+    out.recorder_disabled_ns_per_event = ns_per([&] {
+      for (int i = 0; i < iters; ++i) {
+        rec.record(static_cast<std::uint64_t>(i), flight::Ev::kQueueEnq,
+                   static_cast<std::uint32_t>(i));
+      }
+    });
+  }
+  {
+    LogHistogram h;
+    out.hist_ns_per_record = ns_per([&] {
+      for (int i = 0; i < iters; ++i) {
+        h.observe(0.05 + static_cast<double>(i % 400));
+      }
+    });
+  }
+  return out;
+}
+
 LintTiming lint_tree_timing() {
   LintTiming out;
   auto t0 = Clock::now();
@@ -510,6 +556,14 @@ int main(int argc, char** argv) {
               lt.files, lt.findings);
   std::printf("%-36s %12.3f s\n", "ilu-lint wall", lt.wall_s);
 
+  auto ob = obs_timing(smoke ? 200000 : 2000000);
+  std::printf("%-36s %12.1f ns\n", "flight record (enabled)",
+              ob.recorder_ns_per_event);
+  std::printf("%-36s %12.1f ns\n", "flight record (disabled)",
+              ob.recorder_disabled_ns_per_event);
+  std::printf("%-36s %12.1f ns\n", "log-hist observe",
+              ob.hist_ns_per_record);
+
   // Append this run to the trajectory file (create if absent).
   JsonObject run;
   run["label"] = label;
@@ -555,6 +609,11 @@ int main(int argc, char** argv) {
   lint_rec["findings"] = static_cast<std::uint64_t>(lt.findings);
   lint_rec["wall_s"] = lt.wall_s;
   run["lint"] = lint_rec;
+  JsonObject obs;
+  obs["recorder_ns_per_event"] = ob.recorder_ns_per_event;
+  obs["recorder_disabled_ns_per_event"] = ob.recorder_disabled_ns_per_event;
+  obs["hist_ns_per_record"] = ob.hist_ns_per_record;
+  run["obs"] = obs;
 
   JsonObject doc;
   JsonArray runs;

@@ -1,19 +1,24 @@
 // Trace generation/inspection CLI for the Azure-model workloads.
 //
-//   ./trace_tool gen    <prefix> [rep|rare|random] [n] [target_rps] [hours]
-//   ./trace_tool info   <prefix>
-//   ./trace_tool replay <prefix> [--trace-out <file>]
-//   ./trace_tool tab1   <dump.json>
+//   ./trace_tool gen        <prefix> [rep|rare|random] [n] [target_rps] [hours]
+//   ./trace_tool info       <prefix>
+//   ./trace_tool replay     <prefix> [--trace-out <file>] [--flight-out <file>]
+//   ./trace_tool tab1       <dump.json>
+//   ./trace_tool flightdump <dump.bin> [--out <chrome.json>]
 //
 // `gen` writes <prefix>_functions.csv and <prefix>_events.csv (replayable
 // by faas_sim and the library's load_trace()); `info` prints statistics of
 // a saved trace; `replay` runs the trace through a simulated worker and can
-// dump the transaction-scoped span trees as a Chrome trace; `tab1`
-// recomputes the Table 1 per-component latency view from such a dump.
+// dump the transaction-scoped span trees as a Chrome trace and the flight
+// recorder's binary event rings; `tab1` recomputes the Table 1
+// per-component latency view from such a dump; `flightdump` decodes a
+// binary flight dump (from `replay --flight-out` or a crash) into a
+// per-ring summary and optionally Chrome trace-event JSON.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <string>
 
@@ -87,6 +92,7 @@ int cmd_info(char** argv) {
 int cmd_replay(int argc, char** argv) {
   std::string prefix = argv[2];
   std::string trace_out;
+  std::string flight_out;
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace-out") == 0) {
       if (i + 1 >= argc) {
@@ -94,11 +100,20 @@ int cmd_replay(int argc, char** argv) {
         return 2;
       }
       trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--flight-out") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--flight-out requires a file argument\n");
+        return 2;
+      }
+      flight_out = argv[++i];
     } else {
       std::fprintf(stderr, "unknown replay option: %s\n", argv[i]);
       return 2;
     }
   }
+  // Drop whatever earlier commands in this process recorded, so the dump
+  // covers exactly this replay.
+  flight::Recorder::instance().clear();
 
   Trace t = load_trace(prefix);
   SimRuntime rt;
@@ -133,6 +148,66 @@ int cmd_replay(int argc, char** argv) {
     std::printf("\nwrote %zu spans to %s (Chrome trace format)%s\n",
                 spans.size(), trace_out.c_str(),
                 dropped ? " — shard record cap reached, tail truncated" : "");
+  }
+  if (!flight_out.empty()) {
+    const auto& rec = flight::Recorder::instance();
+    if (!rec.dump_to_file(flight_out)) {
+      std::fprintf(stderr, "error: could not write %s\n", flight_out.c_str());
+      return 1;
+    }
+    std::printf("wrote flight dump: %llu events on %zu ring(s) to %s\n",
+                static_cast<unsigned long long>(rec.recorded()),
+                rec.ring_count(), flight_out.c_str());
+  }
+  return 0;
+}
+
+/// Decode a binary flight dump: per-ring summary + per-event-code counts,
+/// optionally converted to Chrome trace-event JSON (chrome://tracing,
+/// Perfetto).
+int cmd_flightdump(int argc, char** argv) {
+  std::string out_path;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--out requires a file argument\n");
+        return 2;
+      }
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown flightdump option: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  auto rings = flight::read_dump(argv[2]);
+  std::printf("flight dump %s: %zu ring(s)\n", argv[2], rings.size());
+  std::map<std::string, std::size_t> by_code;
+  for (const auto& r : rings) {
+    std::uint64_t lo = r.events.empty() ? 0 : r.events.front().ts_us;
+    std::uint64_t hi = r.events.empty() ? 0 : r.events.back().ts_us;
+    std::printf(
+        "  ring %2u: %6zu event(s) kept of %8llu recorded, ts %llu..%llu us\n",
+        r.tid, r.events.size(), static_cast<unsigned long long>(r.recorded),
+        static_cast<unsigned long long>(lo),
+        static_cast<unsigned long long>(hi));
+    for (const auto& e : r.events) {
+      ++by_code[flight::ev_name(static_cast<flight::Ev>(e.code))];
+    }
+  }
+  std::printf("  events by code:\n");
+  for (const auto& [name, n] : by_code) {
+    std::printf("    %-18s %8zu\n", name.c_str(), n);
+  }
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << flight::chrome_trace_json(rings);
+    out << "\n";
+    if (!out) {
+      std::fprintf(stderr, "error: could not write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::printf("wrote Chrome trace JSON to %s\n", out_path.c_str());
   }
   return 0;
 }
@@ -206,11 +281,14 @@ int main(int argc, char** argv) try {
   if (argc >= 3 && std::strcmp(argv[1], "replay") == 0)
     return cmd_replay(argc, argv);
   if (argc >= 3 && std::strcmp(argv[1], "tab1") == 0) return cmd_tab1(argv);
+  if (argc >= 3 && std::strcmp(argv[1], "flightdump") == 0)
+    return cmd_flightdump(argc, argv);
   std::fprintf(stderr,
                "usage:\n  %s gen <prefix> [rep|rare|random] [n] [target_rps] "
                "[hours]\n  %s info <prefix>\n  %s replay <prefix> "
-               "[--trace-out <file>]\n  %s tab1 <dump.json>\n",
-               argv[0], argv[0], argv[0], argv[0]);
+               "[--trace-out <file>] [--flight-out <file>]\n  %s tab1 "
+               "<dump.json>\n  %s flightdump <dump.bin> [--out <chrome.json>]\n",
+               argv[0], argv[0], argv[0], argv[0], argv[0]);
   return 2;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());

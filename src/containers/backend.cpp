@@ -1,5 +1,7 @@
 #include "containers/backend.hpp"
 
+#include "obs/flight.hpp"
+
 namespace ilu {
 
 BackendLatencyProfile BackendLatencyProfile::containerd() {
@@ -63,6 +65,8 @@ void SimContainerBackend::create_container(const FunctionProfile& profile,
     return;
   }
   ++creates_;
+  flight::record(rt_.now(), flight::Ev::kColdCreate,
+                 static_cast<std::uint32_t>(creates_));
   if (profile_.snapshot_cold_starts) snapshotted_.insert(profile.name);
   rt_.schedule(d, [cb = std::move(cb)] { cb(true); });
 }

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "keepalive/policy.hpp"
+#include "obs/flight.hpp"
 #include "util/log.hpp"
 
 namespace ilu {
@@ -74,9 +75,10 @@ Worker::Worker(Runtime& rt, WorkerConfig cfg)
   ins_.bypassed = metrics_.counter("worker.bypassed");
   ins_.prewarms = metrics_.counter("worker.prewarms");
   ins_.inflight = metrics_.gauge("worker.inflight");
-  ins_.queue_wait_ms = metrics_.histogram("queue.wait_ms", 5.0, 200);
-  ins_.overhead_ms = metrics_.histogram("worker.overhead_ms", 0.5, 200);
+  ins_.queue_wait_ms = metrics_.log_histogram("queue.wait_ms");
+  ins_.overhead_ms = metrics_.log_histogram("worker.overhead_ms");
   queue_.set_depth_gauge(metrics_.gauge("queue.depth"));
+  queue_.set_flight_clock(&rt_);
   pool_.set_metrics({.evictions = metrics_.counter("pool.evictions"),
                      .expirations = metrics_.counter("pool.expirations"),
                      .prewarm_parks = metrics_.counter("pool.prewarm_parks"),
@@ -170,6 +172,7 @@ void Worker::invoke(FunctionId fn, InvokeCb cb) {
   rec.submitted = rt_.now();
   rec.cb = std::move(cb);
   rec.tx = tracer_.begin_transaction();
+  flight::record(rec.submitted, flight::Ev::kInvokeArrival, fn);
   ins_.invocations->inc();
   chars_.on_arrival(fn, rec.submitted);
   // Keep-alive policies observe every arrival (HIST builds its IAT
@@ -266,6 +269,7 @@ void Worker::cold_start(PendingHandle p) {
       pool_.add_container(fn, functions_[fn], rt_.now(), &sync_evictions);
   if (!c.valid()) {
     // Memory exhausted by busy containers: park until something frees.
+    flight::record(rt_.now(), flight::Ev::kMemoryPark, fn);
     --running_;
     ins_.inflight->set(static_cast<std::int64_t>(running_));
     waiting_memory_.push_back(p);
@@ -365,6 +369,7 @@ void Worker::finish(PendingHandle p, ContainerHandle c, bool cold, bool ok,
       r.queue_wait = (rec.exec_started - rec.submitted) - rec.pre_overhead;
       if (r.queue_wait < Duration::zero()) r.queue_wait = Duration::zero();
       ++completed_;
+      flight::record(r.completed, flight::Ev::kComplete, rec.fn);
       ins_.completed->inc();
       ins_.queue_wait_ms->observe(to_ms(r.queue_wait));
       ins_.overhead_ms->observe(to_ms(r.overhead()));
@@ -404,6 +409,7 @@ void Worker::fail(PendingHandle p) {
   ++failure_count_;
   ins_.failures->inc();
   Pending& rec = pending_.get(p);
+  flight::record(rt_.now(), flight::Ev::kFailure, rec.fn);
   InvokeResult r;
   r.success = false;
   r.fn = rec.fn;
@@ -447,7 +453,7 @@ void Worker::prewarm(FunctionId fn, std::function<void(bool)> cb) {
   netns_.acquire([this, fn, c, cb](std::uint64_t netns_id, Duration penalty) {
     pool_.get(c).netns_id = netns_id;
     rt_.schedule(penalty, [this, fn, c, cb] {
-      backend_->create_container(functions_[fn], [this, c, cb](bool ok) {
+      backend_->create_container(functions_[fn], [this, fn, c, cb](bool ok) {
         if (!ok) {
           pool_.remove(c);
           if (cb) cb(false);
@@ -456,6 +462,7 @@ void Worker::prewarm(FunctionId fn, std::function<void(bool)> cb) {
         pool_.get(c).state = ContainerState::Launching;
         pool_.park_prewarmed(c, rt_.now());
         ++prewarm_count_;
+        flight::record(rt_.now(), flight::Ev::kPrewarm, fn);
         ins_.prewarms->inc();
         if (cb) cb(true);
       });

@@ -220,8 +220,10 @@ class Worker {
     Counter* bypassed = nullptr;
     Counter* prewarms = nullptr;
     Gauge* inflight = nullptr;
-    Histogram* queue_wait_ms = nullptr;
-    Histogram* overhead_ms = nullptr;
+    /// Log-bucketed: queue waits and overheads span µs (bypass hits) to
+    /// seconds (cold-start storms); fixed-width buckets flatten that tail.
+    LogHistogram* queue_wait_ms = nullptr;
+    LogHistogram* overhead_ms = nullptr;
   } ins_;
   CpuModel cpu_;
   std::unique_ptr<KeepAlivePolicy> ka_policy_;

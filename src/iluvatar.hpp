@@ -17,7 +17,9 @@
 ///   queueing/  invocation queue disciplines (FCFS/SJF/EEDF/RARE),
 ///              concurrency regulator (fixed/AIMD), bypass
 ///   obs/       observability: transaction-scoped span trees, the metrics
-///              registry, and Chrome-trace/JSON exporters
+///              registry (fixed-width + log-bucketed histograms), the
+///              always-on flight recorder, the telemetry time-series
+///              sampler, and Chrome-trace/JSON exporters
 ///   core/      the Ilúvatar worker and its substrates (CPU model, span
 ///              tracer, function characteristics)
 ///   baseline/  the OpenWhisk behavioural model (and FaasCache, via its
@@ -47,7 +49,9 @@
 #include "lb/cluster.hpp"
 #include "metrics/report.hpp"
 #include "obs/export.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/span.hpp"
 #include "obs/tracer.hpp"
 #include "queueing/invocation_queue.hpp"

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/flight.hpp"
+
 namespace ilu {
 
 ContainerPool::ContainerPool(Runtime& rt, KeepAlivePolicy& policy, Config cfg,
@@ -94,6 +96,7 @@ void ContainerPool::evict_one(ContainerHandle h, bool expired) {
   Container& c = store_.get(h);
   assert(c.state == ContainerState::Idle);
   remove_idle(h, c);
+  flight::record(rt_.now(), flight::Ev::kEviction, c.fn);
   policy_.on_evict(c.entry);
   if (expired) {
     ++expirations_;
@@ -125,6 +128,7 @@ ContainerHandle ContainerPool::acquire(FunctionId fn, TimePoint now) {
   ContainerHandle h = idle_head_[fn];
   Container& c = store_.get(h);
   remove_idle(h, c);
+  flight::record(now, flight::Ev::kContainerAcquire, fn);
   c.prewarm_parked = false;
   c.state = ContainerState::Running;
   ++c.entry.uses;

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <limits>
 
+#include "obs/flight.hpp"
+
 namespace ilu {
 
 Cluster::Cluster(Runtime& rt, ClusterConfig cfg)
@@ -123,6 +125,8 @@ void Cluster::send_to_lb(std::size_t w, TimePoint at, Task fn) {
 void Cluster::invoke(FunctionId fn, Worker::InvokeCb cb) {
   std::size_t w = route(fn);
   ++routed_[w];
+  flight::record(rt_.now(), flight::Ev::kLbRoute,
+                 static_cast<std::uint32_t>(w));
   dispatch_counters_[w]->inc();
   lb_view_[w] += 1.0;
   // Model the LB <-> worker RPC hop both ways. Both samples are drawn here,

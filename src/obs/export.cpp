@@ -72,12 +72,32 @@ JsonValue metrics_json(const MetricsSnapshot& snap) {
     hj["count"] = JsonValue(h.count);
     hj["sum"] = JsonValue(h.sum);
     hj["mean"] = JsonValue(h.mean);
+    hj["saturated"] = JsonValue(h.saturated);
+    hj["overflow_count"] = JsonValue(h.overflow_count);
+    hj["overflow_max"] = JsonValue(h.overflow_max);
     histograms[name] = JsonValue(std::move(hj));
+  }
+  JsonObject log_histograms;
+  for (const auto& [name, h] : snap.log_histograms) {
+    JsonObject hj;
+    hj["count"] = JsonValue(h.count);
+    hj["sum"] = JsonValue(h.sum);
+    hj["mean"] = JsonValue(h.mean);
+    hj["min"] = JsonValue(h.min);
+    hj["max"] = JsonValue(h.max);
+    hj["p50"] = JsonValue(h.p50);
+    hj["p90"] = JsonValue(h.p90);
+    hj["p99"] = JsonValue(h.p99);
+    hj["p999"] = JsonValue(h.p999);
+    hj["saturated"] = JsonValue(h.saturated);
+    hj["overflow_count"] = JsonValue(h.overflow_count);
+    log_histograms[name] = JsonValue(std::move(hj));
   }
   JsonObject doc;
   doc["counters"] = JsonValue(std::move(counters));
   doc["gauges"] = JsonValue(std::move(gauges));
   doc["histograms"] = JsonValue(std::move(histograms));
+  doc["log_histograms"] = JsonValue(std::move(log_histograms));
   return JsonValue(std::move(doc));
 }
 
@@ -100,6 +120,19 @@ void write_metrics_csv(const MetricsSnapshot& snap, const std::string& path) {
     w.row("histogram", name, "count", h.count);
     w.row("histogram", name, "sum", h.sum);
     w.row("histogram", name, "mean", h.mean);
+    w.row("histogram", name, "saturated", h.saturated ? 1 : 0);
+    w.row("histogram", name, "overflow_max", h.overflow_max);
+  }
+  for (const auto& [name, h] : snap.log_histograms) {
+    w.row("log_histogram", name, "count", h.count);
+    w.row("log_histogram", name, "mean", h.mean);
+    w.row("log_histogram", name, "min", h.min);
+    w.row("log_histogram", name, "max", h.max);
+    w.row("log_histogram", name, "p50", h.p50);
+    w.row("log_histogram", name, "p90", h.p90);
+    w.row("log_histogram", name, "p99", h.p99);
+    w.row("log_histogram", name, "p999", h.p999);
+    w.row("log_histogram", name, "saturated", h.saturated ? 1 : 0);
   }
 }
 

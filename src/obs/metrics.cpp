@@ -1,8 +1,29 @@
 #include "obs/metrics.hpp"
 
 #include <cmath>
+#include <limits>
 
 namespace ilu {
+
+namespace {
+
+/// Relaxed CAS max/min — lock-free exact extremes; the loop runs only while
+/// this observation is actually extending the record.
+void atomic_max(std::atomic<std::int64_t>& a, std::int64_t v) {
+  std::int64_t cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<std::int64_t>& a, std::int64_t v) {
+  std::int64_t cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
 
 Histogram::Histogram(double bucket_width, std::size_t num_buckets)
     : width_(bucket_width > 0.0 ? bucket_width : 1.0),
@@ -20,6 +41,10 @@ void Histogram::observe(double x) {
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_micro_.fetch_add(static_cast<std::int64_t>(x * 1e6),
                        std::memory_order_relaxed);
+  if (x >= width_ * static_cast<double>(buckets_.size())) {
+    overflow_count_.fetch_add(1, std::memory_order_relaxed);
+    atomic_max(overflow_max_micro_, static_cast<std::int64_t>(x * 1e6));
+  }
 }
 
 double Histogram::sum() const {
@@ -32,6 +57,14 @@ double Histogram::mean() const {
   return n ? sum() / static_cast<double>(n) : 0.0;
 }
 
+double Histogram::overflow_max() const {
+  return saturated()
+             ? static_cast<double>(
+                   overflow_max_micro_.load(std::memory_order_relaxed)) /
+                   1e6
+             : 0.0;
+}
+
 double Histogram::quantile_upper_bound(double q) const {
   std::uint64_t n = count();
   if (n == 0) return 0.0;
@@ -41,9 +74,102 @@ double Histogram::quantile_upper_bound(double q) const {
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
     seen += bucket(i);
-    if (seen >= target) return width_ * static_cast<double>(i + 1);
+    if (seen >= target) {
+      double upper = width_ * static_cast<double>(i + 1);
+      // The final bucket of a saturated histogram has no honest upper edge;
+      // the exact overflow max is the tight bound.
+      if (i + 1 == buckets_.size() && saturated()) return overflow_max();
+      return upper;
+    }
   }
-  return width_ * static_cast<double>(buckets_.size());
+  return saturated() ? overflow_max()
+                     : width_ * static_cast<double>(buckets_.size());
+}
+
+LogHistogram::LogHistogram(double min_value, double max_value,
+                           unsigned subbucket_bits)
+    : min_(min_value > 0.0 ? min_value : kDefaultMin),
+      max_(max_value > min_ ? max_value : min_ * 2.0),
+      sub_bits_(subbucket_bits > 0 && subbucket_bits <= 10 ? subbucket_bits
+                                                           : 5),
+      buckets_(static_cast<std::size_t>(
+                   std::ceil(std::log2(max_ / min_)))
+               << sub_bits_),
+      min_micro_(std::numeric_limits<std::int64_t>::max()),
+      max_micro_(std::numeric_limits<std::int64_t>::min()) {}
+
+void LogHistogram::update_extremes(std::int64_t micro) {
+  atomic_min(min_micro_, micro);
+  atomic_max(max_micro_, micro);
+}
+
+double LogHistogram::sum() const {
+  return static_cast<double>(sum_micro_.load(std::memory_order_relaxed)) /
+         1e6;
+}
+
+double LogHistogram::mean() const {
+  std::uint64_t n = count();
+  return n ? sum() / static_cast<double>(n) : 0.0;
+}
+
+double LogHistogram::observed_min() const {
+  if (count() == 0) return 0.0;
+  return static_cast<double>(min_micro_.load(std::memory_order_relaxed)) /
+         1e6;
+}
+
+double LogHistogram::observed_max() const {
+  if (count() == 0) return 0.0;
+  return static_cast<double>(max_micro_.load(std::memory_order_relaxed)) /
+         1e6;
+}
+
+double LogHistogram::bucket_upper(std::size_t i) const {
+  std::size_t octave = i >> sub_bits_;
+  std::size_t sub = i & (subbuckets() - 1);
+  double octave_base = min_ * static_cast<double>(std::uint64_t{1} << octave);
+  return octave_base *
+         (1.0 + static_cast<double>(sub + 1) /
+                    static_cast<double>(subbuckets()));
+}
+
+double LogHistogram::percentile(double q) const {
+  std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(n)));
+  if (target == 0) target = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += bucket(i);
+    if (seen >= target) {
+      // Clamp to the exact observed max so p100 (and any quantile landing
+      // in the top occupied bucket) never overshoots the data.
+      return std::min(bucket_upper(i), observed_max());
+    }
+  }
+  // Target lies in the overflow region; the exact max is the tight bound.
+  return observed_max();
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  if (!same_geometry(other)) return;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    std::uint64_t v = other.buckets_[i].load(std::memory_order_relaxed);
+    if (v) buckets_[i].fetch_add(v, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  sum_micro_.fetch_add(other.sum_micro_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  overflow_count_.fetch_add(
+      other.overflow_count_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  if (other.count_.load(std::memory_order_relaxed) > 0) {
+    atomic_min(min_micro_, other.min_micro_.load(std::memory_order_relaxed));
+    atomic_max(max_micro_, other.max_micro_.load(std::memory_order_relaxed));
+  }
 }
 
 Counter* MetricsRegistry::counter(const std::string& name) {
@@ -69,6 +195,15 @@ Histogram* MetricsRegistry::histogram(const std::string& name,
   return slot.get();
 }
 
+LogHistogram* MetricsRegistry::log_histogram(const std::string& name,
+                                             double min_value,
+                                             double max_value) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = log_histograms_[name];
+  if (!slot) slot = std::make_unique<LogHistogram>(min_value, max_value);
+  return slot.get();
+}
+
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot s;
   std::lock_guard<std::mutex> lk(mu_);
@@ -84,7 +219,25 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     d.count = h->count();
     d.sum = h->sum();
     d.mean = h->mean();
+    d.saturated = h->saturated();
+    d.overflow_count = h->overflow_count();
+    d.overflow_max = h->overflow_max();
     s.histograms[name] = std::move(d);
+  }
+  for (const auto& [name, h] : log_histograms_) {
+    MetricsSnapshot::LogHistogramData d;
+    d.count = h->count();
+    d.sum = h->sum();
+    d.mean = h->mean();
+    d.min = h->observed_min();
+    d.max = h->observed_max();
+    d.p50 = h->percentile(0.50);
+    d.p90 = h->percentile(0.90);
+    d.p99 = h->percentile(0.99);
+    d.p999 = h->percentile(0.999);
+    d.saturated = h->saturated();
+    d.overflow_count = h->overflow_count();
+    s.log_histograms[name] = std::move(d);
   }
   return s;
 }

@@ -1,0 +1,190 @@
+#include "obs/telemetry.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/flight.hpp"
+#include "util/csv.hpp"
+
+namespace ilu {
+
+namespace {
+
+/// Per-second rate from (prev, cur) cumulative samples; 0 for the first
+/// frame or a non-advancing clock.
+double rate_per_s(const std::map<std::string, std::pair<TimePoint, double>>&
+                      prev_map,
+                  const std::string& key, TimePoint now, double cur) {
+  auto it = prev_map.find(key);
+  if (it == prev_map.end()) return 0.0;
+  auto dt_us = (now - it->second.first).count();
+  if (dt_us <= 0) return 0.0;
+  return (cur - it->second.second) * 1e6 / static_cast<double>(dt_us);
+}
+
+}  // namespace
+
+TelemetrySampler::TelemetrySampler(Runtime& rt, Duration cadence)
+    : rt_(rt), cadence_(cadence) {}
+
+TelemetrySampler::~TelemetrySampler() { stop(); }
+
+void TelemetrySampler::add_registry(std::string prefix,
+                                    const MetricsRegistry* reg) {
+  registries_.emplace_back(std::move(prefix), reg);
+}
+
+void TelemetrySampler::add_probe(std::string name,
+                                 std::function<double()> fn) {
+  probes_.emplace_back(std::move(name), std::move(fn));
+}
+
+void TelemetrySampler::add_counter_probe(std::string name,
+                                         std::function<std::uint64_t()> fn) {
+  counter_probes_.emplace_back(std::move(name), std::move(fn));
+}
+
+void TelemetrySampler::add_ratio(std::string name, std::string numer_key,
+                                 std::string denom_key) {
+  ratios_.push_back(
+      {std::move(name), std::move(numer_key), std::move(denom_key)});
+}
+
+void TelemetrySampler::start() {
+  if (running_ || cadence_ <= Duration::zero()) return;
+  running_ = true;
+  timer_ = rt_.schedule(cadence_, [this] { tick(); });
+}
+
+void TelemetrySampler::stop() {
+  running_ = false;
+  if (timer_ != Runtime::kInvalidTimer) {
+    rt_.cancel(timer_);
+    timer_ = Runtime::kInvalidTimer;
+  }
+}
+
+void TelemetrySampler::sample_now() { capture(); }
+
+void TelemetrySampler::tick() {
+  timer_ = Runtime::kInvalidTimer;
+  if (!running_) return;
+  capture();
+  if (running_) timer_ = rt_.schedule(cadence_, [this] { tick(); });
+}
+
+void TelemetrySampler::capture() {
+  TelemetryFrame f;
+  f.ts = rt_.now();
+  std::map<std::string, std::pair<TimePoint, double>> next_cum;
+
+  for (const auto& [prefix, reg] : registries_) {
+    MetricsSnapshot snap = reg->snapshot();
+    for (const auto& [name, v] : snap.counters) {
+      std::string key = prefix + name;
+      auto cur = static_cast<double>(v);
+      f.values[key] = cur;
+      f.values[key + ":rate"] = rate_per_s(prev_cum_, key, f.ts, cur);
+      next_cum[key] = {f.ts, cur};
+    }
+    for (const auto& [name, v] : snap.gauges) {
+      f.values[prefix + name] = static_cast<double>(v);
+    }
+    for (const auto& [name, h] : snap.log_histograms) {
+      f.values[prefix + name + ":p50"] = h.p50;
+      f.values[prefix + name + ":p99"] = h.p99;
+      f.values[prefix + name + ":p999"] = h.p999;
+    }
+  }
+  for (const auto& [name, fn] : probes_) f.values[name] = fn();
+  for (const auto& [name, fn] : counter_probes_) {
+    auto cur = static_cast<double>(fn());
+    f.values[name] = cur;
+    f.values[name + ":rate"] = rate_per_s(prev_cum_, name, f.ts, cur);
+    next_cum[name] = {f.ts, cur};
+  }
+  for (const Ratio& r : ratios_) {
+    auto ni = f.values.find(r.numer);
+    auto di = f.values.find(r.denom);
+    double numer = ni != f.values.end() ? ni->second : 0.0;
+    double denom = di != f.values.end() ? di->second : 0.0;
+    f.values[r.name] = denom != 0.0 ? numer / denom : 0.0;
+  }
+
+  prev_cum_ = std::move(next_cum);
+  frames_.push_back(std::move(f));
+  flight::record(rt_.now(), flight::Ev::kSamplerTick,
+                 static_cast<std::uint32_t>(frames_.size() - 1));
+  if (status_out_ != nullptr) (*status_out_) << status_line() << "\n";
+}
+
+std::string TelemetrySampler::status_line() const {
+  if (frames_.empty()) return "";
+  const TelemetryFrame& f = frames_.back();
+  std::ostringstream out;
+  out << "[t=" << std::fixed << std::setprecision(1) << to_sec(f.ts) << "s]";
+  out.unsetf(std::ios_base::floatfield);
+  out.precision(6);
+  for (const auto& [key, v] : f.values) {
+    // Raw cumulative counters are noise on a status line; their :rate (and
+    // everything else) carries the signal.
+    if (f.values.count(key + ":rate")) continue;
+    out << " " << key << "=" << v;
+  }
+  return out.str();
+}
+
+JsonValue TelemetrySampler::to_json() const {
+  JsonArray frames;
+  frames.reserve(frames_.size());
+  for (const TelemetryFrame& f : frames_) {
+    JsonObject values;
+    for (const auto& [key, v] : f.values) values[key] = JsonValue(v);
+    JsonObject fj;
+    fj["ts_us"] = JsonValue(static_cast<std::int64_t>(f.ts.count()));
+    fj["values"] = JsonValue(std::move(values));
+    frames.emplace_back(std::move(fj));
+  }
+  JsonObject doc;
+  doc["cadence_us"] = JsonValue(static_cast<std::int64_t>(cadence_.count()));
+  doc["frames"] = JsonValue(std::move(frames));
+  return JsonValue(std::move(doc));
+}
+
+void TelemetrySampler::write_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  out << to_json().dump(2) << "\n";
+}
+
+void TelemetrySampler::write_csv(const std::string& path) const {
+  std::set<std::string> keys;
+  for (const TelemetryFrame& f : frames_) {
+    for (const auto& [key, v] : f.values) keys.insert(key);
+  }
+  CsvWriter w(path);
+  std::vector<std::string> header{"ts_us"};
+  header.insert(header.end(), keys.begin(), keys.end());
+  w.write_row(header);
+  for (const TelemetryFrame& f : frames_) {
+    std::vector<std::string> row;
+    row.reserve(header.size());
+    row.push_back(std::to_string(f.ts.count()));
+    for (const std::string& key : keys) {
+      auto it = f.values.find(key);
+      if (it == f.values.end()) {
+        row.emplace_back();
+      } else {
+        std::ostringstream v;
+        v << it->second;
+        row.push_back(v.str());
+      }
+    }
+    w.write_row(row);
+  }
+}
+
+}  // namespace ilu

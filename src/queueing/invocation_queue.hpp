@@ -4,9 +4,11 @@
 #include <optional>
 #include <utility>
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "queueing/queue_policy.hpp"
 #include "runtime/indexed_heap.hpp"
+#include "runtime/runtime.hpp"
 
 /// The per-worker invocation queue (§5): a priority queue sorted by the
 /// active discipline, with FIFO tie-breaking (sequence numbers) so equal
@@ -29,6 +31,10 @@ class InvocationQueue {
   void push(QueueItem item, bool warm_available) {
     item.seq = next_seq_++;
     double pri = policy_.priority(item, chars_, warm_available);
+    if (clock_ != nullptr) {
+      flight::record(clock_->now(), flight::Ev::kQueueEnq,
+                     static_cast<std::uint32_t>(item.fn));
+    }
     items_.push(Key{pri, item.seq}, std::move(item));
     if (depth_gauge_) {
       depth_gauge_->set(static_cast<std::int64_t>(items_.size()));
@@ -39,6 +45,10 @@ class InvocationQueue {
   std::optional<QueueItem> pop() {
     if (items_.empty()) return std::nullopt;
     QueueItem item = items_.pop_min();
+    if (clock_ != nullptr) {
+      flight::record(clock_->now(), flight::Ev::kQueueDeq,
+                     static_cast<std::uint32_t>(item.fn));
+    }
     if (depth_gauge_) {
       depth_gauge_->set(static_cast<std::int64_t>(items_.size()));
     }
@@ -63,12 +73,17 @@ class InvocationQueue {
     }
   }
 
+  /// Timestamp source for flight-recorder enq/deq stamps (nullptr disables
+  /// stamping entirely — e.g. microbenchmarks of the bare queue).
+  void set_flight_clock(const Runtime* rt) { clock_ = rt; }
+
  private:
   using Key = std::pair<double, std::uint64_t>;
 
   const QueuePolicy& policy_;
   const CharacteristicsMap& chars_;
   Gauge* depth_gauge_ = nullptr;
+  const Runtime* clock_ = nullptr;
   std::uint64_t next_seq_ = 0;
   IndexedHeap<Key, QueueItem> items_;
 };

@@ -81,6 +81,7 @@ void RealRuntime::loop() {
     executing_ = true;
     lock.unlock();
     ev.fn();
+    executed_.fetch_add(1, std::memory_order_relaxed);
     lock.lock();
     executing_ = false;
     if (heap_.size() == cancelled_.size()) idle_cv_.notify_all();

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
@@ -38,6 +39,12 @@ class RealRuntime final : public Runtime {
   /// Stop the loop thread; pending timers are dropped. Called by the dtor.
   void shutdown();
 
+  /// Callbacks executed so far. Readable from any thread without touching
+  /// the loop mutex — the telemetry sampler's events/s source.
+  std::uint64_t executed() const {
+    return executed_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Event {
     TimePoint deadline;
@@ -64,6 +71,7 @@ class RealRuntime final : public Runtime {
   TimerId next_id_ = 1;
   bool stopping_ = false;
   bool executing_ = false;
+  std::atomic<std::uint64_t> executed_{0};
   std::thread loop_thread_;
 };
 

@@ -5,6 +5,8 @@
 #include <limits>
 #include <thread>
 
+#include "obs/flight.hpp"
+
 namespace ilu {
 
 namespace {
@@ -60,6 +62,7 @@ ShardedRuntime::ShardedRuntime(std::size_t shards, Duration lookahead)
   outbox_.resize(shards * shards);
   scratch_.resize(shards);
   horizon_ = std::vector<std::atomic<std::int64_t>>(shards);
+  events_ = std::vector<std::atomic<std::uint64_t>>(shards);
   delivered_.assign(shards, 0);
 }
 
@@ -134,10 +137,17 @@ void ShardedRuntime::run_windows(TimePoint limit) {
       if (tmin == kIdle || tmin > limit_us) break;
       TimePoint w{std::min(tmin + look_us, cap_us)};
       rt.run_before(w);
+      // Publish progress for concurrent telemetry readers and stamp the
+      // barrier crossing on this thread's flight ring (ts = the shard clock
+      // after the window, arg = shard index).
+      events_[me].store(rt.events_processed(), std::memory_order_relaxed);
+      flight::record(rt.now(), flight::Ev::kWindowBarrier,
+                     static_cast<std::uint32_t>(me));
       if (me == 0) ++windows_;
       barrier.arrive_and_wait();  // all outboxes complete
     }
     if (limit_us != kIdle) rt.run_until(limit);
+    events_[me].store(rt.events_processed(), std::memory_order_relaxed);
   };
 
   std::vector<std::thread> threads;
@@ -157,6 +167,8 @@ void ShardedRuntime::run_until(TimePoint t) {
     // N-shard path where run_windows binds shards to window threads.
     shards_[0]->bind_owner();
     shards_[0]->run_until(t);
+    events_[0].store(shards_[0]->events_processed(),
+                     std::memory_order_relaxed);
     return;
   }
   run_windows(t);
@@ -166,6 +178,8 @@ void ShardedRuntime::run() {
   if (shards_.size() == 1) {
     shards_[0]->bind_owner();
     shards_[0]->run();
+    events_[0].store(shards_[0]->events_processed(),
+                     std::memory_order_relaxed);
     return;
   }
   run_windows(TimePoint{kIdle});
@@ -181,6 +195,12 @@ bool ShardedRuntime::idle() const {
 std::uint64_t ShardedRuntime::messages() const {
   std::uint64_t total = 0;
   for (auto d : delivered_) total += d;
+  return total;
+}
+
+std::uint64_t ShardedRuntime::total_events() const {
+  std::uint64_t total = 0;
+  for (const auto& e : events_) total += e.load(std::memory_order_relaxed);
   return total;
 }
 

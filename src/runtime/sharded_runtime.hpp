@@ -76,6 +76,15 @@ class ShardedRuntime {
   /// Cross-shard messages delivered through mailboxes so far.
   std::uint64_t messages() const;
 
+  /// Events processed by shard `i`, as last published at a window barrier
+  /// (refreshed continuously while a run is in flight, exact once it
+  /// returns). Readable from any thread — this is the telemetry sampler's
+  /// events/s-per-shard source; reading it never perturbs the simulation.
+  std::uint64_t shard_events(std::size_t i) const {
+    return events_[i].load(std::memory_order_relaxed);
+  }
+  std::uint64_t total_events() const;
+
  private:
   struct Msg {
     TimePoint at{};
@@ -100,6 +109,9 @@ class ShardedRuntime {
   /// Plain values would race; the window barriers order the accesses, and
   /// atomics make the publication explicit for the sanitizer.
   std::vector<std::atomic<std::int64_t>> horizon_;
+  /// Per-shard processed-event counters, published (relaxed) by each window
+  /// thread for concurrent telemetry readers.
+  std::vector<std::atomic<std::uint64_t>> events_;
   /// Messages delivered per destination shard (owner-thread writes only).
   std::vector<std::uint64_t> delivered_;
   std::uint64_t windows_ = 0;

@@ -42,6 +42,13 @@ namespace detail {
 using DcheckContextFn = void (*)(char* buf, std::size_t n);
 inline DcheckContextFn g_dcheck_context = nullptr;
 
+/// Optional pre-abort dump hook: runs once after the failure message is
+/// printed, before std::abort(). The flight recorder (obs/flight.cpp)
+/// registers a dump of every thread's last-N event ring here, so a crashing
+/// shard leaves a post-mortem trace. Set at static-initialization time.
+using DcheckDumpFn = void (*)();
+inline DcheckDumpFn g_dcheck_dump = nullptr;
+
 [[noreturn]] inline void dcheck_fail(const char* file, int line,
                                      const char* expr, const char* msg) {
   char ctx[256];
@@ -51,6 +58,7 @@ inline DcheckContextFn g_dcheck_context = nullptr;
                expr, msg, ctx[0] != '\0' ? " [span: " : "",
                ctx[0] != '\0' ? ctx : "");
   if (ctx[0] != '\0') std::fprintf(stderr, "]\n");
+  if (g_dcheck_dump != nullptr) g_dcheck_dump();
   std::abort();
 }
 

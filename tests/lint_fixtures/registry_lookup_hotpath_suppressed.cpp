@@ -1,0 +1,22 @@
+// Fixture: registry-lookup-hotpath findings silenced by reasoned allow().
+
+struct Counter {
+  void inc();
+};
+struct Registry {
+  Counter* counter(const char* name);
+};
+
+template <typename F>
+void run(F f) {
+  f();
+}
+
+void wire(Registry& reg) {
+  run([&reg] {
+    // ilu-lint: allow(registry-lookup-hotpath) - cold startup probe, fires once
+    reg.counter("boot.probes")->inc();
+  });
+  // ilu-lint: allow(registry-lookup-hotpath) - shutdown path, not per-event
+  run([&reg] { reg.counter("shutdown.flush")->inc(); });
+}

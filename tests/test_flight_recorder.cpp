@@ -1,0 +1,249 @@
+// Flight recorder (obs/flight): ring wrap semantics, concurrent write+drain
+// (run under TSan in the sanitizer matrix), binary dump round-trip, Chrome
+// trace conversion, and the dump-on-ILU_DCHECK-abort hook.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/flight.hpp"
+#include "util/dcheck.hpp"
+#include "util/json.hpp"
+
+namespace ilu {
+namespace {
+
+using flight::Ev;
+using flight::Event;
+using flight::Recorder;
+using flight::Ring;
+using flight::RingDump;
+
+TEST(FlightRing, FillsInOrderBeforeWrap) {
+  Ring r(8, /*tid=*/3);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    r.record(100 + i, Ev::kQueueEnq, static_cast<std::uint32_t>(i));
+  }
+  auto ev = r.snapshot();
+  ASSERT_EQ(ev.size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(ev[i].ts_us, 100 + i);
+    EXPECT_EQ(ev[i].code, static_cast<std::uint16_t>(Ev::kQueueEnq));
+    EXPECT_EQ(ev[i].tid, 3);
+    EXPECT_EQ(ev[i].arg, i);
+  }
+  EXPECT_EQ(r.recorded(), 5u);
+}
+
+TEST(FlightRing, WrapKeepsLastCapacityRecords) {
+  constexpr std::size_t kCap = 16;
+  Ring r(kCap, 0);
+  constexpr std::uint64_t kTotal = 3 * kCap + 5;
+  for (std::uint64_t i = 0; i < kTotal; ++i) {
+    r.record(i, Ev::kComplete, static_cast<std::uint32_t>(i));
+  }
+  EXPECT_EQ(r.recorded(), kTotal);
+  auto ev = r.snapshot();
+  ASSERT_EQ(ev.size(), kCap);
+  // Oldest-first: the surviving records are exactly the last kCap writes.
+  for (std::size_t i = 0; i < kCap; ++i) {
+    EXPECT_EQ(ev[i].ts_us, kTotal - kCap + i);
+    EXPECT_EQ(ev[i].arg, kTotal - kCap + i);
+  }
+}
+
+TEST(FlightRing, CapacityRoundsUpToPowerOfTwo) {
+  Ring r(10, 0);
+  EXPECT_EQ(r.capacity(), 16u);
+}
+
+TEST(FlightRing, ClearDropsRecords) {
+  Ring r(8, 0);
+  r.record(1, Ev::kEviction, 0);
+  r.clear();
+  EXPECT_TRUE(r.snapshot().empty());
+  EXPECT_EQ(r.recorded(), 0u);
+}
+
+/// Writer hammers the ring while a reader snapshots concurrently: must be
+/// TSan-clean, every snapshot bounded by capacity, and every drained record
+/// structurally valid (the writer only ever stamps one code/arg pattern).
+TEST(FlightRing, ConcurrentWriteAndDrain) {
+  constexpr std::size_t kCap = 64;
+  Ring r(kCap, 7);
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    std::uint64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      r.record(i, Ev::kQueueDeq, static_cast<std::uint32_t>(i & 0xffff));
+      ++i;
+    }
+  });
+  for (int round = 0; round < 2000; ++round) {
+    auto ev = r.snapshot();
+    EXPECT_LE(ev.size(), kCap);
+    for (const auto& e : ev) {
+      EXPECT_EQ(e.code, static_cast<std::uint16_t>(Ev::kQueueDeq));
+      EXPECT_EQ(e.tid, 7);
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  // Quiescent drain is exact: strictly increasing timestamps.
+  auto ev = r.snapshot();
+  for (std::size_t i = 1; i < ev.size(); ++i) {
+    EXPECT_EQ(ev[i].ts_us, ev[i - 1].ts_us + 1);
+  }
+}
+
+TEST(FlightRecorder, DisabledRecordsNothing) {
+  Recorder rec(/*enabled=*/false, 64);
+  rec.record(1, Ev::kInvokeArrival, 0);
+  EXPECT_EQ(rec.recorded(), 0u);
+  EXPECT_EQ(rec.ring_count(), 0u) << "disabled record must not register rings";
+  rec.set_enabled(true);
+  rec.record(2, Ev::kInvokeArrival, 9);
+  EXPECT_EQ(rec.recorded(), 1u);
+}
+
+TEST(FlightRecorder, OneRingPerThread) {
+  Recorder rec(true, 64);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&rec, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        rec.record(static_cast<std::uint64_t>(i), Ev::kWindowBarrier,
+                   static_cast<std::uint32_t>(t));
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(rec.ring_count(), static_cast<std::size_t>(kThreads));
+  EXPECT_EQ(rec.recorded(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  // Each ring carries exactly one thread's records (single-writer).
+  for (const auto& d : rec.snapshot_all()) {
+    ASSERT_EQ(d.events.size(), static_cast<std::size_t>(kPerThread));
+    for (const auto& e : d.events) EXPECT_EQ(e.arg, d.events[0].arg);
+  }
+}
+
+TEST(FlightRecorder, DumpDecodeRoundTrip) {
+  Recorder rec(true, 32);
+  for (std::uint64_t i = 0; i < 40; ++i) {  // wraps: 40 > 32
+    rec.record(i, Ev::kColdCreate, static_cast<std::uint32_t>(i * 3));
+  }
+  std::ostringstream os;
+  std::size_t n = rec.dump(os);
+  std::string bytes = os.str();
+  EXPECT_EQ(bytes.size(), n);
+
+  auto rings = flight::decode(bytes);
+  auto live = rec.snapshot_all();
+  ASSERT_EQ(rings.size(), live.size());
+  ASSERT_EQ(rings.size(), 1u);
+  EXPECT_EQ(rings[0].tid, live[0].tid);
+  EXPECT_EQ(rings[0].recorded, 40u);
+  ASSERT_EQ(rings[0].events.size(), live[0].events.size());
+  for (std::size_t i = 0; i < rings[0].events.size(); ++i) {
+    EXPECT_EQ(rings[0].events[i].ts_us, live[0].events[i].ts_us);
+    EXPECT_EQ(rings[0].events[i].code, live[0].events[i].code);
+    EXPECT_EQ(rings[0].events[i].arg, live[0].events[i].arg);
+  }
+}
+
+TEST(FlightRecorder, DumpToFileAndReadBack) {
+  Recorder rec(true, 16);
+  rec.record(7, Ev::kLbRoute, 2);
+  std::string path = ::testing::TempDir() + "flight_roundtrip.bin";
+  ASSERT_TRUE(rec.dump_to_file(path));
+  auto rings = flight::read_dump(path);
+  ASSERT_EQ(rings.size(), 1u);
+  ASSERT_EQ(rings[0].events.size(), 1u);
+  EXPECT_EQ(rings[0].events[0].ts_us, 7u);
+  EXPECT_EQ(rings[0].events[0].code,
+            static_cast<std::uint16_t>(Ev::kLbRoute));
+  std::remove(path.c_str());
+}
+
+TEST(FlightDecode, RejectsBadMagicAndTruncation) {
+  EXPECT_THROW(flight::decode("not a dump"), std::runtime_error);
+  Recorder rec(true, 16);
+  rec.record(1, Ev::kPrewarm, 0);
+  std::ostringstream os;
+  rec.dump(os);
+  std::string bytes = os.str();
+  EXPECT_THROW(flight::decode(bytes.substr(0, bytes.size() - 3)),
+               std::runtime_error);
+  EXPECT_THROW(flight::decode(bytes + "x"), std::runtime_error)
+      << "trailing bytes must be rejected";
+}
+
+TEST(FlightChromeTrace, ProducesValidSortedJson) {
+  Recorder rec(true, 32);
+  rec.record(10, Ev::kInvokeArrival, 1);
+  rec.record(20, Ev::kQueueEnq, 1);
+  rec.record(30, Ev::kComplete, 1);
+  std::string json = flight::chrome_trace_json(rec.snapshot_all(), 42);
+  JsonValue doc = json_parse(json);
+  const JsonValue* evs = doc.find("traceEvents");
+  ASSERT_NE(evs, nullptr);
+  ASSERT_TRUE(evs->is_array());
+  ASSERT_EQ(evs->as_array().size(), 3u);
+  double prev_ts = -1.0;
+  for (const auto& e : evs->as_array()) {
+    EXPECT_EQ(e.find("ph")->as_string(), "i");
+    EXPECT_EQ(e.find("pid")->as_number(), 42.0);
+    double ts = e.find("ts")->as_number();
+    EXPECT_GE(ts, prev_ts) << "events must be sorted by timestamp";
+    prev_ts = ts;
+  }
+  EXPECT_EQ(evs->as_array()[0].find("name")->as_string(),
+            flight::ev_name(Ev::kInvokeArrival));
+}
+
+TEST(FlightEvNames, KnownAndUnknown) {
+  EXPECT_STREQ(flight::ev_name(Ev::kColdCreate), "cold_create");
+  EXPECT_STREQ(flight::ev_name(static_cast<Ev>(0xbeef)), "?");
+}
+
+/// The crash hook: dcheck_fail must write the installed dump before
+/// aborting, leaving a decodable post-mortem of the events recorded up to
+/// the failure. The child of this death test inherits the singleton's rings.
+TEST(FlightCrashDumpDeathTest, DcheckFailureWritesDump) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  std::string path = ::testing::TempDir() + "flight_crash.bin";
+  std::remove(path.c_str());
+  Recorder::instance().set_enabled(true);
+  Recorder::install_crash_dump(path);
+  EXPECT_DEATH(
+      {
+        // Recorded in the death-test child so the dump must contain it.
+        flight::record(123, Ev::kFailure, 77);
+        detail::dcheck_fail("flight_test.cpp", 1, "false",
+                            "intentional crash-dump test failure");
+      },
+      "intentional crash-dump test failure");
+  auto rings = flight::read_dump(path);
+  bool found = false;
+  for (const auto& d : rings) {
+    for (const auto& e : d.events) {
+      if (e.ts_us == 123 && e.code == static_cast<std::uint16_t>(Ev::kFailure) &&
+          e.arg == 77) {
+        found = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found) << "crash dump must contain the pre-abort record";
+  Recorder::install_crash_dump("");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ilu

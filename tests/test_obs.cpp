@@ -382,7 +382,7 @@ TEST(WorkerObservability, InvocationsBuildSpanTreesAndMetrics) {
   EXPECT_EQ(snap.counters.at("worker.cold_starts"), 1u);
   EXPECT_EQ(snap.counters.at("worker.warm_starts"), 2u);
   EXPECT_EQ(snap.gauges.at("worker.inflight"), 0);
-  EXPECT_EQ(snap.histograms.at("worker.overhead_ms").count, 3u);
+  EXPECT_EQ(snap.log_histograms.at("worker.overhead_ms").count, 3u);
 }
 
 }  // namespace

@@ -40,6 +40,13 @@
 ///                         push_back/emplace_back/emplace/push. Exempt:
 ///                         exp/ (the sweep machinery joins its ref-capturing
 ///                         jobs before the scope exits, by design).
+///   registry-lookup-hotpath  MetricsRegistry::counter/gauge/histogram/
+///                         log_histogram called with a string-literal name
+///                         inside a lambda body: event callbacks must use
+///                         instrument pointers resolved at wiring time, not
+///                         take the registry mutex per event. Exempt: obs/
+///                         (the registry's own layer), exp/ (sweep jobs wire
+///                         fresh panels per run).
 ///
 /// Suppression: a finding on line L is suppressed by a comment on L (or a
 /// comment-only line immediately above) of the form
