@@ -9,10 +9,14 @@
 // byte-identical ExperimentReport (the conservative-window determinism
 // contract), and the wall-clock times show the speedup. `--shards N`
 // restricts the sweep to {1, N}. On a 1-core host the sharded runs can't
-// be faster — equivalence is still asserted.
+// be faster — equivalence is still asserted. `--arena FILE` replays an
+// ilu-arena-v1 on-disk arena (tools/trace_gen) through the sharded cluster
+// instead of the built-in synthetic workload — the mmap'd key column feeds
+// the same EventView hot loop the in-RAM storage does.
 
 #include <chrono>
 #include <cstring>
+#include <memory>
 
 #include "bench_util.hpp"
 
@@ -113,7 +117,8 @@ struct ShardedOut {
   std::string fingerprint;  // report JSON: the equivalence witness
 };
 
-ShardedOut run_sharded(std::size_t nshards, const TraceArena& arena) {
+ShardedOut run_sharded(std::size_t nshards, EventView view,
+                       const std::vector<FunctionProfile>& functions) {
   ClusterConfig cfg;
   cfg.num_workers = 32;
   cfg.lb = LbPolicy::ChBl;
@@ -128,7 +133,7 @@ ShardedOut run_sharded(std::size_t nshards, const TraceArena& arena) {
 
   ShardedRuntime srt(nshards, cfg.rpc.lower_bound());
   Cluster cluster(srt, cfg);
-  for (const auto& f : arena.functions) cluster.register_function(f);
+  for (const auto& f : functions) cluster.register_function(f);
   cluster.start();
 
   OpenLoopDriver d(srt.shard(0), [&](FunctionId fn,
@@ -138,13 +143,13 @@ ShardedOut run_sharded(std::size_t nshards, const TraceArena& arena) {
   });
 
   auto t0 = std::chrono::steady_clock::now();
-  d.start(arena);
+  d.start(view);
   while (!d.done()) srt.run_for(secs(20));
   auto t1 = std::chrono::steady_clock::now();
   cluster.shutdown();
 
   std::vector<std::string> names;
-  for (const auto& f : arena.functions) names.push_back(f.name);
+  for (const auto& f : functions) names.push_back(f.name);
   ExperimentReport rep(std::move(names));
   rep.add_all(d.results());
 
@@ -198,11 +203,14 @@ int main(int argc, char** argv) {
       "locality (more forwarding, more cold starts) for balance.\n");
 
   std::vector<std::size_t> shard_counts = {1, 2, 4, 8};
+  std::string arena_path;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--shards") == 0) {
       auto n = static_cast<std::size_t>(std::strtoul(argv[i + 1], nullptr, 10));
       if (n >= 1) shard_counts = n == 1 ? std::vector<std::size_t>{1}
                                         : std::vector<std::size_t>{1, n};
+    } else if (std::strcmp(argv[i], "--arena") == 0) {
+      arena_path = argv[i + 1];
     }
   }
 
@@ -213,12 +221,32 @@ int main(int argc, char** argv) {
   scsv.row("shards", "wall_s", "speedup", "windows", "messages", "completed",
            "equivalent");
 
-  auto arena = sharded_workload();
+  TraceArena synth;
+  std::unique_ptr<ArenaFile> file;
+  EventView view;
+  const std::vector<FunctionProfile>* functions = nullptr;
+  if (!arena_path.empty()) {
+    try {
+      file = std::make_unique<ArenaFile>(arena_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+    view = file->view();
+    functions = &file->functions();
+    std::printf("replaying on-disk arena %s: %zu fns, %zu events\n",
+                arena_path.c_str(), functions->size(), view.size());
+  } else {
+    synth = sharded_workload();
+    view = EventView(synth);
+    functions = &synth.functions;
+  }
+
   std::string baseline_fp;
   double baseline_wall = 0.0;
   bool all_equal = true;
   for (std::size_t s : shard_counts) {
-    auto o = run_sharded(s, arena);
+    auto o = run_sharded(s, view, *functions);
     if (s == 1) {
       baseline_fp = o.fingerprint;
       baseline_wall = o.wall_s;

@@ -14,7 +14,9 @@
 // schedule_cancel_ops_per_sec, queue_push_pop_ops_per_sec,
 // pool_acquire_return_ops_per_sec}, pool_churn:{slab_ops_per_sec,
 // pointer_ops_per_sec, speedup}, trace_gen:{functions, events,
-// aos_events_per_sec, arena_events_per_sec}, cluster_scaling:{shards,
+// aos_events_per_sec, arena_events_per_sec}, trace_replay:{functions,
+// events, chunks, gen_events_per_sec, replay_events_per_sec, equivalent},
+// cluster_scaling:{shards,
 // completed, wall_s_serial, wall_s_sharded, speedup, equivalent},
 // fig4_sweep:{cells, threads, wall_s_1thread, wall_s_nthreads, speedup},
 // lint:{files, findings, wall_s}, obs:{recorder_ns_per_event,
@@ -343,6 +345,106 @@ TraceGenTiming trace_gen_timing(bool smoke) {
   return out;
 }
 
+struct TraceReplayTiming {
+  std::size_t functions = 0;
+  std::uint64_t events = 0;
+  std::size_t chunks = 0;
+  double gen_events_per_sec = 0.0;     // chunked generation to disk
+  double replay_events_per_sec = 0.0;  // mmap'd streaming replay
+  bool equivalent = false;             // mmap report == in-RAM report
+};
+
+/// Tentpole record: Azure-model trace generated to an on-disk ilu-arena-v1
+/// file in bounded-memory chunks, then replayed from the mmap through
+/// OpenLoopDriver against a deterministic latency engine. The in-RAM arena
+/// replay of the same seed must produce a byte-identical ExperimentReport
+/// (bench/trace_replay_scale.cpp runs the same check at any scale).
+TraceReplayTiming trace_replay_timing(bool smoke) {
+  TraceReplayTiming out;
+  out.functions = smoke ? 2000 : 20000;
+  const double target_events = smoke ? 2e5 : 2e6;
+
+  AzureModelConfig mcfg;
+  mcfg.population = std::max<std::size_t>(out.functions, 50000);
+  mcfg.days = 0.25;
+  AzureTraceModel model(mcfg);
+  std::vector<std::size_t> indices(out.functions);
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  double rate_scale =
+      rate_scale_for_target_events(model, indices, target_events);
+
+  const std::string path = "run_all_trace_replay.arena";
+  ArenaGenConfig gen_cfg;
+  gen_cfg.chunk_functions = out.functions / 8 + 1;  // force a real merge
+  auto t0 = Clock::now();
+  ArenaGenStats stats =
+      generate_arena_file(model, indices, rate_scale, path, gen_cfg);
+  double gen_s = seconds_since(t0);
+  out.events = stats.events;
+  out.chunks = stats.chunks;
+  out.gen_events_per_sec =
+      gen_s > 0.0 ? static_cast<double>(stats.events) / gen_s : 0.0;
+
+  // Latency-model replay: completion after warm time (plus init on the
+  // function's first call), streamed to the report sink.
+  auto replay = [](EventView view, const std::vector<FunctionProfile>& fns,
+                   ArenaFile* release) {
+    SimRuntime rt;
+    std::vector<bool> seen(fns.size(), false);
+    OpenLoopDriver driver(rt, [&](FunctionId fn,
+                                  std::function<void(const InvokeResult&)>
+                                      cb) {
+      const FunctionProfile& p = fns[fn];
+      bool cold = !seen[fn];
+      seen[fn] = true;
+      Duration exec = cold ? p.cold_time() : p.warm_time;
+      TimePoint t0 = rt.now();
+      rt.schedule(exec, [&rt, fn, cold, exec, t0, cb = std::move(cb)] {
+        InvokeResult r;
+        r.success = true;
+        r.cold = cold;
+        r.fn = fn;
+        r.submitted = t0;
+        r.exec_started = t0;
+        r.completed = rt.now();
+        r.exec_time = exec;
+        cb(r);
+      });
+    });
+    std::vector<std::string> names;
+    for (const auto& f : fns) names.push_back(f.name);
+    ExperimentReport report(std::move(names));
+    std::uint64_t done = 0;
+    driver.set_result_sink([&](const InvokeResult& r) {
+      report.add(r);
+      if (release != nullptr && (++done & ((1u << 18) - 1)) == 0) {
+        release->release_keys_before(driver.submitted());
+      }
+    });
+    driver.start(view);
+    while (!driver.done()) rt.run_for(secs(3600));
+    return std::pair{report.to_json().dump(), driver.submitted()};
+  };
+
+  ArenaFile arena(path);
+  t0 = Clock::now();
+  auto [mmap_fp, mmap_n] = replay(arena.view(), arena.functions(), &arena);
+  double replay_s = seconds_since(t0);
+  out.replay_events_per_sec =
+      replay_s > 0.0 ? static_cast<double>(mmap_n) / replay_s : 0.0;
+
+  TraceArena ram = model.build_arena(indices, rate_scale);
+  auto [ram_fp, ram_n] = replay(EventView(ram), ram.functions, nullptr);
+  out.equivalent = mmap_fp == ram_fp && mmap_n == ram_n;
+  std::remove(path.c_str());
+  if (!out.equivalent) {
+    std::fprintf(stderr,
+                 "FATAL: mmap'd arena replay diverged from in-RAM replay\n");
+    std::exit(1);
+  }
+  return out;
+}
+
 struct ClusterShardTiming {
   std::size_t shards = 2;
   std::uint64_t completed = 0;
@@ -531,6 +633,17 @@ int main(int argc, char** argv) {
   std::printf("%-36s %12.0f /s\n", "trace gen (SoA arena keys)",
               tg.arena_events_per_sec);
 
+  auto tr = trace_replay_timing(smoke);
+  std::printf("%-36s %12zu fns, %llu events, %zu chunk(s)\n",
+              "arena replay trace", tr.functions,
+              static_cast<unsigned long long>(tr.events), tr.chunks);
+  std::printf("%-36s %12.0f /s\n", "arena gen to disk (chunked)",
+              tr.gen_events_per_sec);
+  std::printf("%-36s %12.0f /s\n", "arena mmap replay",
+              tr.replay_events_per_sec);
+  std::printf("%-36s %12s\n", "arena replay reports equivalent",
+              tr.equivalent ? "yes" : "NO");
+
   auto cs = cluster_sharded_timing(threads, smoke);
   std::printf("%-36s %12.2f s\n", "cluster sim wall (1 shard)",
               cs.wall_s_serial);
@@ -589,6 +702,14 @@ int main(int argc, char** argv) {
   trace_gen["aos_events_per_sec"] = tg.aos_events_per_sec;
   trace_gen["arena_events_per_sec"] = tg.arena_events_per_sec;
   run["trace_gen"] = trace_gen;
+  JsonObject trace_replay;
+  trace_replay["functions"] = static_cast<std::uint64_t>(tr.functions);
+  trace_replay["events"] = tr.events;
+  trace_replay["chunks"] = static_cast<std::uint64_t>(tr.chunks);
+  trace_replay["gen_events_per_sec"] = tr.gen_events_per_sec;
+  trace_replay["replay_events_per_sec"] = tr.replay_events_per_sec;
+  trace_replay["equivalent"] = tr.equivalent;
+  run["trace_replay"] = trace_replay;
   JsonObject cluster;
   cluster["shards"] = static_cast<std::uint64_t>(cs.shards);
   cluster["completed"] = cs.completed;

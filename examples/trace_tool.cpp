@@ -1,14 +1,15 @@
 // Trace generation/inspection CLI for the Azure-model workloads.
 //
 //   ./trace_tool gen        <prefix> [rep|rare|random] [n] [target_rps] [hours]
-//   ./trace_tool info       <prefix>
+//   ./trace_tool info       <prefix | arena-file>
 //   ./trace_tool replay     <prefix> [--trace-out <file>] [--flight-out <file>]
 //   ./trace_tool tab1       <dump.json>
 //   ./trace_tool flightdump <dump.bin> [--out <chrome.json>]
 //
 // `gen` writes <prefix>_functions.csv and <prefix>_events.csv (replayable
 // by faas_sim and the library's load_trace()); `info` prints statistics of
-// a saved trace; `replay` runs the trace through a simulated worker and can
+// a saved trace (auto-detecting ilu-arena-v1 binary arenas, which it also
+// integrity-checks); `replay` runs the trace through a simulated worker and can
 // dump the transaction-scoped span trees as a Chrome trace and the flight
 // recorder's binary event rings; `tab1` recomputes the Table 1
 // per-component latency view from such a dump; `flightdump` decodes a
@@ -61,7 +62,41 @@ int cmd_gen(int argc, char** argv) {
   return 0;
 }
 
+/// True when `path` is an ilu-arena-v1 file (checks the magic only; a
+/// corrupt file with a valid magic still fails loudly in ArenaFile's
+/// strict open).
+bool is_arena_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  char bytes[8];
+  if (!in.read(bytes, sizeof bytes)) return false;
+  std::uint64_t magic = 0;
+  for (int i = 0; i < 8; ++i) {
+    magic |= static_cast<std::uint64_t>(static_cast<unsigned char>(bytes[i]))
+             << (8 * i);
+  }
+  return magic == kArenaMagic;
+}
+
+int cmd_info_arena(const std::string& path) {
+  ArenaFile f(path);
+  std::printf("arena %s (ilu-arena-v1)\n", path.c_str());
+  std::printf("  functions:       %zu\n", f.functions().size());
+  std::printf("  events:          %zu\n", f.size());
+  std::printf("  duration:        %.2f h\n", to_sec(f.duration()) / 3600.0);
+  if (to_sec(f.duration()) > 0.0) {
+    std::printf("  request rate:    %.2f /s\n",
+                static_cast<double>(f.size()) / to_sec(f.duration()));
+  }
+  std::printf("  file size:       %.1f MB (keys mmap'd)\n",
+              static_cast<double>(f.file_bytes()) / 1e6);
+  f.verify();
+  std::printf("  integrity:       OK (keys sorted, fns bounded, checksums "
+              "match)\n");
+  return 0;
+}
+
 int cmd_info(char** argv) {
+  if (is_arena_file(argv[2])) return cmd_info_arena(argv[2]);
   Trace t = load_trace(argv[2]);
   auto s = t.stats();
   std::printf("trace %s\n", argv[2]);

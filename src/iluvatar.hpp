@@ -8,7 +8,8 @@
 ///              execution engines, the time-parallel ShardedRuntime
 ///              (conservative-window synchronization), + latency models
 ///   trace/     workloads: FunctionBench profiles, the Azure trace model,
-///              load generators, trace I/O
+///              load generators, trace I/O, mmap'd on-disk arenas
+///              (ilu-arena-v1) with bounded-memory chunked generation
 ///   containers container records, backends (containerd/docker/crun/null
 ///              latency profiles), netns pool
 ///   keepalive/ caching-based keep-alive: policies (TTL/LRU/FREQ/GD/LND/
@@ -60,7 +61,10 @@
 #include "runtime/real_runtime.hpp"
 #include "runtime/sharded_runtime.hpp"
 #include "runtime/sim_runtime.hpp"
+#include "trace/arena_file.hpp"
+#include "trace/arena_gen.hpp"
 #include "trace/azure.hpp"
+#include "trace/event_view.hpp"
 #include "trace/function_profile.hpp"
 #include "trace/loadgen.hpp"
 #include "trace/trace_io.hpp"

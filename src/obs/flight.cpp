@@ -28,6 +28,7 @@ const char* ev_name(Ev e) {
     case Ev::kLbRoute: return "lb_route";
     case Ev::kSamplerTick: return "sampler_tick";
     case Ev::kMemoryPark: return "memory_park";
+    case Ev::kReplayMilestone: return "replay_milestone";
   }
   return "?";
 }

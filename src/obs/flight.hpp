@@ -53,6 +53,7 @@ enum class Ev : std::uint16_t {
   kLbRoute = 11,         // arg = worker index
   kSamplerTick = 12,     // arg = frame index
   kMemoryPark = 13,      // arg = function id (cold start parked on memory)
+  kReplayMilestone = 14, // arg = percent of trace events submitted (0..100)
 };
 
 /// Human-readable name for an event code ("?" for unknown codes).

@@ -91,12 +91,13 @@ namespace {
 template <typename Emit>
 void generate_bucketed(const AzureTraceModel& model,
                        const std::vector<std::size_t>& fn_indices,
-                       double rate_scale, Emit&& emit) {
+                       double rate_scale, std::size_t fi_begin,
+                       std::size_t fi_end, Emit&& emit) {
   const AzureModelConfig& cfg = model.config();
   const auto num_minutes =
       static_cast<std::size_t>(std::llround(cfg.days * 1440.0));
   Rng rng = Rng(cfg.seed).substream(0x7ace);
-  for (std::size_t fi = 0; fi < fn_indices.size(); ++fi) {
+  for (std::size_t fi = fi_begin; fi < fi_end; ++fi) {
     const AzureFunctionMeta& m = model.population()[fn_indices[fi]];
     Rng frng = rng.substream(fn_indices[fi]);
     const double per_min_rate = rate_scale * 60.0 / m.mean_iat_s;
@@ -119,19 +120,32 @@ std::vector<FunctionProfile> profiles_for(
     const AzureTraceModel& model, const std::vector<std::size_t>& fn_indices) {
   std::vector<FunctionProfile> out;
   out.reserve(fn_indices.size());
-  for (std::size_t idx : fn_indices) {
-    const AzureFunctionMeta& m = model.population().at(idx);
-    FunctionProfile p;
-    p.name = "azure_fn_" + std::to_string(idx);
-    p.mem_mb = m.mem_mb;
-    p.warm_time = secs(m.warm_s);
-    p.init_time = secs(m.init_s);
-    out.push_back(std::move(p));
-  }
+  for (std::size_t idx : fn_indices) out.push_back(model.profile_for(idx));
   return out;
 }
 
 }  // namespace
+
+FunctionProfile AzureTraceModel::profile_for(
+    std::size_t population_index) const {
+  const AzureFunctionMeta& m = pop_.at(population_index);
+  FunctionProfile p;
+  p.name = "azure_fn_" + std::to_string(population_index);
+  p.mem_mb = m.mem_mb;
+  p.warm_time = secs(m.warm_s);
+  p.init_time = secs(m.init_s);
+  return p;
+}
+
+void AzureTraceModel::generate_events(
+    const std::vector<std::size_t>& fn_indices, double rate_scale,
+    std::size_t fi_begin, std::size_t fi_end,
+    const std::function<void(TimePoint, FunctionId)>& emit) const {
+  assert(rate_scale > 0.0 && fi_begin <= fi_end &&
+         fi_end <= fn_indices.size());
+  generate_bucketed(*this, fn_indices, rate_scale, fi_begin, fi_end,
+                    [&](TimePoint at, FunctionId fn) { emit(at, fn); });
+}
 
 Trace AzureTraceModel::build_trace(const std::vector<std::size_t>& fn_indices,
                                    double rate_scale) const {
@@ -139,7 +153,7 @@ Trace AzureTraceModel::build_trace(const std::vector<std::size_t>& fn_indices,
   Trace t;
   t.duration = secs(cfg_.days * 86400.0);
   t.functions = profiles_for(*this, fn_indices);
-  generate_bucketed(*this, fn_indices, rate_scale,
+  generate_bucketed(*this, fn_indices, rate_scale, 0, fn_indices.size(),
                     [&](TimePoint at, FunctionId fn) {
                       t.events.push_back(TraceEvent{at, fn});
                     });
@@ -157,7 +171,7 @@ TraceArena AzureTraceModel::build_arena(
   a.duration = secs(cfg_.days * 86400.0);
   a.functions = profiles_for(*this, fn_indices);
   std::vector<std::uint64_t> keys;
-  generate_bucketed(*this, fn_indices, rate_scale,
+  generate_bucketed(*this, fn_indices, rate_scale, 0, fn_indices.size(),
                     [&](TimePoint at, FunctionId fn) {
                       keys.push_back(TraceArena::pack(at, fn));
                     });

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "trace/workload.hpp"
@@ -128,6 +129,22 @@ class AzureTraceModel {
   TraceArena build_arena(const std::vector<std::size_t>& fn_indices,
                          double rate_scale = 1.0) const;
 
+  /// Stream the events of functions fn_indices[fi_begin, fi_end) —
+  /// `emit(at, fi)` sees them in function-major order (unsorted in time),
+  /// with fi the *global* position within fn_indices. Each function draws
+  /// from its own RNG substream keyed by population index, so any partition
+  /// of [0, n) into subranges generates exactly the events of a single
+  /// build_arena(fn_indices, rate_scale) call. This is the bounded-memory
+  /// entry point the chunked on-disk generator (arena_gen.hpp) is built on.
+  void generate_events(
+      const std::vector<std::size_t>& fn_indices, double rate_scale,
+      std::size_t fi_begin, std::size_t fi_end,
+      const std::function<void(TimePoint, FunctionId)>& emit) const;
+
+  /// The FunctionProfile for one population index (the samplers' naming and
+  /// unit conversions, one function at a time).
+  FunctionProfile profile_for(std::size_t population_index) const;
+
   /// Expected invocations/second for each minute of the full (unsampled)
   /// trace — the appendix "whole trace" timeseries. One Poisson draw per
   /// minute over the aggregated rate.
@@ -140,12 +157,15 @@ class AzureTraceModel {
   /// over the day).
   double activity(const AzureFunctionMeta& m, double minute_of_day) const;
 
- private:
-  std::vector<std::size_t> indices_sorted_by_popularity() const;
-  /// Deterministic index selection shared by the Trace and arena samplers.
+  /// Deterministic index selection shared by the Trace and arena samplers,
+  /// public so the on-disk generator (arena_gen / tools/trace_gen) can
+  /// reuse the samplers' function choice without materializing a trace.
   std::vector<std::size_t> pick_rare(std::size_t n) const;
   std::vector<std::size_t> pick_representative(std::size_t n) const;
   std::vector<std::size_t> pick_random(std::size_t n) const;
+
+ private:
+  std::vector<std::size_t> indices_sorted_by_popularity() const;
 
   AzureModelConfig cfg_;
   std::vector<AzureFunctionMeta> pop_;

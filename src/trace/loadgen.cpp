@@ -3,52 +3,60 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/flight.hpp"
+
 namespace ilu {
 
 OpenLoopDriver::OpenLoopDriver(Runtime& rt, InvokeFn invoke)
     : rt_(rt), invoke_(std::move(invoke)) {}
 
-void OpenLoopDriver::start(const Trace& trace) {
-  assert(ev_ == nullptr && at_us_ == nullptr && "driver already started");
-  ev_ = trace.events.data();
-  count_ = trace.events.size();
-  begin();
-}
-
-void OpenLoopDriver::start(const TraceArena& arena) {
-  assert(ev_ == nullptr && at_us_ == nullptr && "driver already started");
-  at_us_ = arena.at_us.data();
-  fn_ = arena.fn.data();
-  count_ = arena.size();
+void OpenLoopDriver::start(EventView events) {
+  assert(!started_ && "driver already started");
+  started_ = true;
+  view_ = events;
   begin();
 }
 
 void OpenLoopDriver::begin() {
   epoch_ = rt_.now();
-  results_.reserve(count_);
-  if (count_ == 0) {
+  if (!sink_) results_.reserve(view_.size());
+  flight::record(rt_.now(), flight::Ev::kReplayMilestone, 0);
+  if (view_.empty()) {
     submitted_all_ = true;
     return;
   }
-  rt_.schedule(event_at(0), [this] { pump(); });
+  milestone_step_ = std::max<std::size_t>(1, view_.size() / 10);
+  next_milestone_ = milestone_step_;
+  rt_.schedule(view_.at(0), [this] { pump(); });
 }
 
 void OpenLoopDriver::pump() {
   // Submit every event due now, then re-arm a single timer for the next.
+  const std::size_t count = view_.size();
   TimePoint now = rt_.now() - epoch_;
-  while (next_ < count_ && event_at(next_) <= now) {
-    FunctionId fn = event_fn(next_);
+  while (next_ < count && view_.at(next_) <= now) {
+    FunctionId fn = view_.fn(next_);
     ++next_;
     ++outstanding_;
     invoke_(fn, [this](const InvokeResult& r) {
-      results_.push_back(r);
+      if (sink_) {
+        sink_(r);
+      } else {
+        results_.push_back(r);
+      }
       --outstanding_;
     });
+    if (next_ == next_milestone_) {
+      flight::record(rt_.now(), flight::Ev::kReplayMilestone,
+                     static_cast<std::uint32_t>(next_ * 100 / count));
+      next_milestone_ += milestone_step_;
+    }
   }
-  if (next_ < count_) {
-    rt_.schedule(event_at(next_) - now, [this] { pump(); });
+  if (next_ < count) {
+    rt_.schedule(view_.at(next_) - now, [this] { pump(); });
   } else {
     submitted_all_ = true;
+    flight::record(rt_.now(), flight::Ev::kReplayMilestone, 100);
   }
 }
 

@@ -5,6 +5,7 @@
 
 #include "common/types.hpp"
 #include "runtime/runtime.hpp"
+#include "trace/event_view.hpp"
 #include "trace/workload.hpp"
 #include "util/rng.hpp"
 
@@ -22,15 +23,25 @@ using InvokeFn =
 
 /// Replays a workload open-loop: invocation i is submitted at trace time
 /// events[i].at relative to start(). Uses O(1) outstanding timers by
-/// chaining to the next event. Accepts either an AoS Trace or a SoA
-/// TraceArena; the arena path streams the two flat columns directly.
+/// chaining to the next event. All storage layouts — AoS Trace, SoA
+/// TraceArena, and packed-key arenas (in RAM or mmap'd from disk) — replay
+/// through one EventView hot loop with no per-event branching.
 class OpenLoopDriver {
  public:
   OpenLoopDriver(Runtime& rt, InvokeFn invoke);
 
-  /// Begin replay. The trace/arena must outlive the driver's run.
-  void start(const Trace& trace);
-  void start(const TraceArena& arena);
+  /// Begin replay. The viewed storage must outlive the driver's run.
+  void start(const Trace& trace) { start(EventView(trace)); }
+  void start(const TraceArena& arena) { start(EventView(arena)); }
+  void start(EventView events);
+
+  /// Stream completions to `sink` instead of accumulating them in
+  /// results(). Mandatory for replays whose event count dwarfs RAM (the
+  /// default mode reserves one InvokeResult per event up front); must be
+  /// set before start().
+  void set_result_sink(std::function<void(const InvokeResult&)> sink) {
+    sink_ = std::move(sink);
+  }
 
   bool done() const { return submitted_all_ && outstanding_ == 0; }
   std::size_t submitted() const { return next_; }
@@ -41,22 +52,20 @@ class OpenLoopDriver {
  private:
   void begin();
   void pump();
-  TimePoint event_at(std::size_t i) const {
-    return ev_ ? ev_[i].at : Duration{at_us_[i]};
-  }
-  FunctionId event_fn(std::size_t i) const { return ev_ ? ev_[i].fn : fn_[i]; }
 
   Runtime& rt_;
   InvokeFn invoke_;
-  /// Exactly one replay source is set: AoS events, or the arena columns.
-  const TraceEvent* ev_ = nullptr;
-  const std::int64_t* at_us_ = nullptr;
-  const FunctionId* fn_ = nullptr;
-  std::size_t count_ = 0;
+  EventView view_;
+  bool started_ = false;
   TimePoint epoch_{};
   std::size_t next_ = 0;
   std::size_t outstanding_ = 0;
   bool submitted_all_ = false;
+  /// Replay-progress flight milestones: one record per decile of submitted
+  /// events (plus start / submit-complete).
+  std::size_t milestone_step_ = 0;
+  std::size_t next_milestone_ = 0;
+  std::function<void(const InvokeResult&)> sink_;
   std::vector<InvokeResult> results_;
 };
 

@@ -60,14 +60,6 @@ bool Trace::valid() const {
   });
 }
 
-std::uint64_t TraceArena::pack(TimePoint at, FunctionId fn) {
-  const std::int64_t us = at.count();
-  assert(us >= 0 && us <= kMaxUs && "event time out of packed-key range");
-  assert(fn <= kMaxFn && "function id out of packed-key range");
-  return (static_cast<std::uint64_t>(us) << kFnBits) |
-         static_cast<std::uint64_t>(fn);
-}
-
 void TraceArena::adopt_keys(std::vector<std::uint64_t>& keys) {
   std::sort(keys.begin(), keys.end());
   at_us.clear();
@@ -75,8 +67,8 @@ void TraceArena::adopt_keys(std::vector<std::uint64_t>& keys) {
   at_us.reserve(keys.size());
   fn.reserve(keys.size());
   for (std::uint64_t k : keys) {
-    at_us.push_back(static_cast<std::int64_t>(k >> kFnBits));
-    fn.push_back(static_cast<FunctionId>(k & kMaxFn));
+    at_us.push_back(key_at(k).count());
+    fn.push_back(key_fn(k));
   }
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "util/dcheck.hpp"
 
 /// Workload representation: a function table plus a time-ordered invocation
 /// stream. This is the open-loop "timeseries of function invocations" the
@@ -65,7 +66,23 @@ struct TraceArena {
   static constexpr std::uint64_t kMaxFn = (1ull << kFnBits) - 1;
   static constexpr std::int64_t kMaxUs = (1ll << (63 - kFnBits)) - 1;
 
-  static std::uint64_t pack(TimePoint at, FunctionId fn);
+  /// Pack one event into its 64-bit key. Bounds are ILU_DCHECKed (debug /
+  /// checks-forced builds abort on out-of-range inputs; release packs
+  /// garbage, which the arena-file verifier catches downstream).
+  static std::uint64_t pack(TimePoint at, FunctionId fn) {
+    const std::int64_t us = at.count();
+    ILU_DCHECK(us >= 0 && us <= kMaxUs, "event time out of packed-key range");
+    ILU_DCHECK(fn <= kMaxFn, "function id out of packed-key range");
+    return (static_cast<std::uint64_t>(us) << kFnBits) |
+           static_cast<std::uint64_t>(fn);
+  }
+  /// Unpack the timestamp / function-id halves of a key.
+  static TimePoint key_at(std::uint64_t key) {
+    return Duration{static_cast<std::int64_t>(key >> kFnBits)};
+  }
+  static FunctionId key_fn(std::uint64_t key) {
+    return static_cast<FunctionId>(key & kMaxFn);
+  }
 
   std::vector<FunctionProfile> functions;
   /// Event columns, sorted ascending by (at_us, fn).

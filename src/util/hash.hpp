@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string_view>
 
@@ -9,11 +10,26 @@
 /// per-entity deterministic RNG streams. These are *not* cryptographic.
 namespace ilu {
 
+inline constexpr std::uint64_t kFnv1a64Basis = 0xcbf29ce484222325ULL;
+
 /// FNV-1a 64-bit over a byte string. Stable across platforms.
 constexpr std::uint64_t fnv1a64(std::string_view s) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
+  std::uint64_t h = kFnv1a64Basis;
   for (char c : s) {
     h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// FNV-1a 64-bit over a raw byte range, resumable via `basis` so a checksum
+/// can be accumulated across streamed chunks (the arena file writer does).
+inline std::uint64_t fnv1a64_bytes(const void* data, std::size_t n,
+                                   std::uint64_t basis = kFnv1a64Basis) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = basis;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
     h *= 0x100000001b3ULL;
   }
   return h;
