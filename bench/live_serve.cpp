@@ -1,0 +1,346 @@
+// In-situ open-loop serving benchmark: pushes a synthetic arrival trace
+// through a live Worker on a RealRuntime (wall-clock, sharded-stage timer
+// wheel) at a sweep of offered rates, and reports invoke-overhead tails.
+//
+//   ./build/bench/live_serve [--rates r1,r2,... (per minute)]
+//                            [--duration SECS] [--producers N]
+//                            [--out PATH] [--status] [--smoke]
+//
+// Default sweep: 0.25M, 0.5M, 1M, 1.25M invocations/minute for 8 s each.
+// Each stage gets a fresh Worker; functions are warmed once before the
+// measured window so the sweep compares steady-state overhead, not cold
+// storms. The harness is open-loop (src/exp/live_load.hpp): arrivals are
+// paced by the trace clock, and submission lateness is reported alongside
+// the rate so saturation cannot hide behind coordinated omission.
+//
+// --smoke (wired into ctest under the `perf` label) runs one small stage
+// and asserts only shape, not rate: sanitizer builds run the same test.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+
+namespace ilu {
+namespace {
+
+struct StageResult {
+  double target_per_min = 0.0;
+  double offered_per_sec = 0.0;
+  double achieved_per_sec = 0.0;
+  double wall_s = 0.0;
+  bool timed_out = false;
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t cold = 0;
+  std::uint64_t bypassed = 0;
+  double lateness_p50_ms = 0.0;
+  double lateness_p99_ms = 0.0;
+  double submit_lag_p50_ms = 0.0;
+  double submit_lag_p99_ms = 0.0;
+  double overhead_p50_ms = 0.0;
+  double overhead_p99_ms = 0.0;
+  double overhead_p999_ms = 0.0;
+};
+
+constexpr std::size_t kFunctions = 64;
+
+/// A worker provisioned so the *control plane* is the bottleneck under
+/// load, not the modeled machine: the paper's overhead claims are about the
+/// invoke path, so the sweep gives the modeled executor ample cores/memory
+/// and turns span tracing off (the flight recorder stays on — it is the
+/// always-on layer).
+WorkerConfig live_worker_config() {
+  WorkerConfig cfg;
+  cfg.name = "live";
+  cfg.cores = 384.0;
+  cfg.memory_mb = 512 * 1024;
+  cfg.regulator.limit = 2048.0;
+  cfg.bypass_threshold = msecs(50);
+  cfg.bypass_load_limit = 64.0;
+  cfg.netns.target_size = 2048;
+  cfg.netns.low_watermark = 512;
+  cfg.tracing = false;
+  cfg.predictive_prewarm = false;
+  return cfg;
+}
+
+std::vector<SyntheticFunctionSpec> make_specs(double per_sec) {
+  std::vector<SyntheticFunctionSpec> specs;
+  specs.reserve(kFunctions);
+  const double fn_iat_us = 1e6 * static_cast<double>(kFunctions) / per_sec;
+  for (std::size_t i = 0; i < kFunctions; ++i) {
+    SyntheticFunctionSpec s;
+    s.profile.name = "live_fn_" + std::to_string(i);
+    s.profile.mem_mb = 128;
+    s.profile.warm_time = msecs(4);
+    s.profile.init_time = msecs(20);
+    s.mean_iat = usecs(static_cast<std::int64_t>(fn_iat_us));
+    // Constant spacing with staggered phases: the aggregate arrival process
+    // is uniform at exactly the target rate, so "sustained N/min" is a
+    // statement about the offered trace, not a sampling accident.
+    s.exponential = false;
+    s.phase = usecs(static_cast<std::int64_t>(
+        fn_iat_us * static_cast<double>(i) / kFunctions));
+    specs.push_back(std::move(s));
+  }
+  return specs;
+}
+
+StageResult run_stage(double per_min, Duration duration,
+                      std::size_t producers, bool status) {
+  StageResult out;
+  out.target_per_min = per_min;
+  const double per_sec = per_min / 60.0;
+
+  RealRuntime rt;
+  WorkerConfig cfg = live_worker_config();
+  Worker w(rt, cfg);
+  std::vector<FunctionId> fns;
+  auto specs = make_specs(per_sec);
+  for (auto& s : specs) fns.push_back(w.register_function(s.profile));
+  w.start();
+
+  // Provision warm capacity for the offered concurrency before measuring:
+  // with one container per function, overlapping arrivals on the same
+  // function trigger cold creates whose modeled containerd latency holds
+  // memory and netns slots long enough to self-amplify into a cold storm.
+  // Prewarm enough containers per function to absorb the peak overlap
+  // (per-fn rate × ~6 ms busy window, with 4x headroom), then invoke each
+  // function once so client caches are hot too.
+  {
+    const double per_fn_per_sec = per_sec / static_cast<double>(kFunctions);
+    const auto prewarms = static_cast<std::size_t>(
+        std::max(4.0, std::ceil(per_fn_per_sec * 0.006 * 4.0)));
+    // release/acquire: the final increment must happen-before main leaving
+    // the wait loop — `warmed` is stack-scoped and its slot is reused.
+    std::atomic<std::size_t> warmed{0};
+    const std::size_t expected = fns.size() * prewarms;
+    for (FunctionId f : fns) {
+      for (std::size_t k = 0; k < prewarms; ++k) {
+        rt.post([&w, &warmed, f] {
+          w.prewarm(f, [&warmed](bool) {
+            warmed.fetch_add(1, std::memory_order_release);
+          });
+        });
+      }
+    }
+    while (warmed.load(std::memory_order_acquire) < expected) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    warmed.store(0, std::memory_order_relaxed);
+    for (FunctionId f : fns) {
+      rt.post([&w, &warmed, f] {
+        w.invoke(f, [&warmed](const InvokeResult&) {
+          warmed.fetch_add(1, std::memory_order_release);
+        });
+      });
+    }
+    while (warmed.load(std::memory_order_acquire) < fns.size()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  TraceArena arena = make_synthetic_arena(specs, duration, /*seed=*/17);
+  EventView view(arena);
+
+  TelemetrySampler sampler(rt, msecs(500));
+  sampler.add_registry("w:", &w.metrics());
+  sampler.add_counter_probe("rt:executed", [&rt] { return rt.executed(); });
+  sampler.add_probe("rt:pending",
+                    [&rt] { return static_cast<double>(rt.pending()); });
+  LiveLoadStats stats;
+  sampler.add_counter_probe("load:submitted", [&stats] {
+    return stats.submitted.load(std::memory_order_relaxed);
+  });
+  sampler.add_counter_probe("load:finished",
+                            [&stats] { return stats.finished(); });
+  if (status) sampler.set_status_stream(&std::cerr);
+  sampler.start();
+
+  LiveLoadHarness harness(
+      rt, [&w](FunctionId f, LiveLoadHarness::CompletionCb cb) {
+        w.invoke(f, std::move(cb));
+      });
+  LiveLoadConfig lcfg;
+  lcfg.producers = producers;
+  harness.run(view, lcfg, &stats);
+
+  sampler.stop();
+  sampler.sample_now();
+
+  // Worker teardown belongs to the loop thread (it is loop-confined).
+  std::atomic<bool> down{false};
+  rt.post([&w, &down] {
+    w.shutdown();
+    down.store(true, std::memory_order_release);
+  });
+  while (!down.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  out.offered_per_sec = stats.offered_per_sec;
+  out.achieved_per_sec = stats.achieved_per_sec;
+  out.wall_s = stats.wall_s;
+  out.timed_out = stats.timed_out;
+  out.submitted = stats.submitted.load(std::memory_order_relaxed);
+  out.completed = stats.completed.load(std::memory_order_relaxed);
+  out.failed = stats.failed.load(std::memory_order_relaxed);
+  out.dropped = stats.dropped.load(std::memory_order_relaxed);
+  out.cold = stats.cold.load(std::memory_order_relaxed);
+  out.bypassed = stats.bypassed.load(std::memory_order_relaxed);
+  out.lateness_p50_ms = stats.lateness_ms.percentile(0.50);
+  out.lateness_p99_ms = stats.lateness_ms.percentile(0.99);
+  out.submit_lag_p50_ms = stats.submit_lag_ms.percentile(0.50);
+  out.submit_lag_p99_ms = stats.submit_lag_ms.percentile(0.99);
+  out.overhead_p50_ms = stats.overhead_ms.percentile(0.50);
+  out.overhead_p99_ms = stats.overhead_ms.percentile(0.99);
+  out.overhead_p999_ms = stats.overhead_ms.percentile(0.999);
+  return out;
+}
+
+void print_stage(const StageResult& r) {
+  std::printf(
+      "%9.0f/min  offered %8.0f/s  achieved %8.0f/s  wall %6.2fs%s\n"
+      "             submitted %8llu  completed %8llu  failed %llu  "
+      "dropped %llu  cold %llu  bypassed %llu\n"
+      "             late p50/p99 %7.3f/%7.3f ms   lag p50/p99 %7.3f/%7.3f "
+      "ms\n"
+      "             overhead p50/p99/p999 %7.3f/%7.3f/%7.3f ms\n",
+      r.target_per_min, r.offered_per_sec, r.achieved_per_sec, r.wall_s,
+      r.timed_out ? "  [TIMED OUT]" : "",
+      static_cast<unsigned long long>(r.submitted),
+      static_cast<unsigned long long>(r.completed),
+      static_cast<unsigned long long>(r.failed),
+      static_cast<unsigned long long>(r.dropped),
+      static_cast<unsigned long long>(r.cold),
+      static_cast<unsigned long long>(r.bypassed), r.lateness_p50_ms,
+      r.lateness_p99_ms, r.submit_lag_p50_ms, r.submit_lag_p99_ms,
+      r.overhead_p50_ms, r.overhead_p99_ms, r.overhead_p999_ms);
+}
+
+JsonObject stage_json(const StageResult& r) {
+  JsonObject o;
+  o["target_per_min"] = r.target_per_min;
+  o["offered_per_sec"] = r.offered_per_sec;
+  o["achieved_per_sec"] = r.achieved_per_sec;
+  o["wall_s"] = r.wall_s;
+  o["timed_out"] = r.timed_out;
+  o["submitted"] = r.submitted;
+  o["completed"] = r.completed;
+  o["failed"] = r.failed;
+  o["dropped"] = r.dropped;
+  o["cold"] = r.cold;
+  o["bypassed"] = r.bypassed;
+  o["lateness_p50_ms"] = r.lateness_p50_ms;
+  o["lateness_p99_ms"] = r.lateness_p99_ms;
+  o["submit_lag_p50_ms"] = r.submit_lag_p50_ms;
+  o["submit_lag_p99_ms"] = r.submit_lag_p99_ms;
+  o["overhead_p50_ms"] = r.overhead_p50_ms;
+  o["overhead_p99_ms"] = r.overhead_p99_ms;
+  o["overhead_p999_ms"] = r.overhead_p999_ms;
+  return o;
+}
+
+}  // namespace
+}  // namespace ilu
+
+int main(int argc, char** argv) {
+  using namespace ilu;
+  std::vector<double> rates_per_min = {250000, 500000, 1000000, 1250000};
+  double duration_s = 8.0;
+  std::size_t producers = 4;
+  std::string out_path;
+  bool smoke = false;
+  bool status = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--rates") == 0 && i + 1 < argc) {
+      rates_per_min.clear();
+      std::string arg = argv[++i];
+      std::size_t pos = 0;
+      while (pos < arg.size()) {
+        std::size_t comma = arg.find(',', pos);
+        rates_per_min.push_back(
+            std::stod(arg.substr(pos, comma - pos)));
+        pos = comma == std::string::npos ? arg.size() : comma + 1;
+      }
+    } else if (std::strcmp(argv[i], "--duration") == 0 && i + 1 < argc) {
+      duration_s = std::stod(argv[++i]);
+    } else if (std::strcmp(argv[i], "--producers") == 0 && i + 1 < argc) {
+      producers = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--status") == 0) {
+      status = true;
+    }
+  }
+
+  if (smoke) {
+    // Shape check only: one small stage, generous bounds, no rate
+    // assertion — sanitizer builds (TSan ~10x slower) run this same test.
+    rates_per_min = {30000};
+    duration_s = 2.0;
+    producers = 2;
+  }
+
+  bench::banner("live_serve — open-loop in-situ Worker serving sweep");
+  std::printf("producers %zu, stage duration %.1f s, %zu functions\n\n",
+              producers, duration_s, kFunctions);
+
+  std::vector<StageResult> results;
+  for (double rate : rates_per_min) {
+    results.push_back(run_stage(
+        rate, usecs(static_cast<std::int64_t>(duration_s * 1e6)), producers,
+        status));
+    print_stage(results.back());
+  }
+
+  if (!out_path.empty()) {
+    JsonObject doc;
+    doc["schema"] = "ilu-live-serve-v1";
+    doc["producers"] = static_cast<std::uint64_t>(producers);
+    doc["duration_s"] = duration_s;
+    JsonArray stages;
+    for (const auto& r : results) stages.emplace_back(stage_json(r));
+    doc["stages"] = stages;
+    std::ofstream out(out_path);
+    out << JsonValue(doc).dump(2) << "\n";
+    std::printf("\nwrote %s\n", out_path.c_str());
+  }
+
+  if (smoke) {
+    const StageResult& r = results.front();
+    if (r.completed == 0 || r.overhead_p50_ms <= 0.0) {
+      std::fprintf(stderr,
+                   "SMOKE FAIL: overhead histogram not populated "
+                   "(completed=%llu p50=%f)\n",
+                   static_cast<unsigned long long>(r.completed),
+                   r.overhead_p50_ms);
+      return 1;
+    }
+    if (r.timed_out) {
+      std::fprintf(stderr, "SMOKE FAIL: completion wait timed out\n");
+      return 1;
+    }
+    if (r.overhead_p99_ms > 2500.0) {
+      std::fprintf(stderr, "SMOKE FAIL: overhead p99 %.1f ms over bound\n",
+                   r.overhead_p99_ms);
+      return 1;
+    }
+    std::printf("\nsmoke OK: %llu completed, overhead p99 %.3f ms\n",
+                static_cast<unsigned long long>(r.completed),
+                r.overhead_p99_ms);
+  }
+  return 0;
+}

@@ -1,0 +1,152 @@
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+
+/// The pre-wheel RealRuntime, preserved verbatim (header-only) as the
+/// micro_ops / run_all baseline: one global mutex guarding a
+/// std::priority_queue of events plus an unordered_set of cancelled
+/// TimerIds (tombstones). Every schedule() from every producer thread
+/// serializes on mu_, cancel is O(heap) deferred, and tombstones for
+/// already-fired timers leak forever — exactly the contention and memory
+/// behavior the sharded timer wheel replaces (DESIGN.md §14). Not linted
+/// or shipped: bench-only.
+namespace ilu::bench {
+
+class MutexHeapRuntime final : public Runtime {
+ public:
+  MutexHeapRuntime()
+      : epoch_(std::chrono::steady_clock::now()),
+        loop_thread_([this] { loop(); }) {}
+
+  ~MutexHeapRuntime() override { shutdown(); }
+
+  MutexHeapRuntime(const MutexHeapRuntime&) = delete;
+  MutexHeapRuntime& operator=(const MutexHeapRuntime&) = delete;
+
+  TimePoint now() const override {
+    return std::chrono::duration_cast<Duration>(
+        std::chrono::steady_clock::now() - epoch_);
+  }
+
+  TimerId schedule(Duration delay, Task fn) override {
+    assert(delay >= Duration::zero());
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return kInvalidTimer;
+    TimerId id = next_id_++;
+    heap_.push(Event{now() + delay, next_seq_++, id, std::move(fn)});
+    cv_.notify_one();
+    return id;
+  }
+
+  bool cancel(TimerId id) override {
+    if (id == kInvalidTimer) return false;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (id >= next_id_) return false;
+    return cancelled_.insert(id).second;
+  }
+
+  void drain() {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] {
+      return stopping_ || (heap_.size() == cancelled_.size() && !executing_);
+    });
+  }
+
+  void shutdown() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) {
+        if (!loop_thread_.joinable()) return;
+      }
+      stopping_ = true;
+      cv_.notify_all();
+      idle_cv_.notify_all();
+    }
+    if (loop_thread_.joinable()) loop_thread_.join();
+  }
+
+  std::uint64_t executed() const {
+    return executed_.load(std::memory_order_relaxed);
+  }
+
+  /// Timers in the heap, tombstones included — this design cannot tell the
+  /// difference without a scan, which is itself part of the comparison.
+  /// Bench-side backpressure only.
+  std::uint64_t pending() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return heap_.size();
+  }
+
+ private:
+  struct Event {
+    TimePoint deadline;
+    std::uint64_t seq;
+    TimerId id;
+    Task fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.deadline != b.deadline) return a.deadline > b.deadline;
+      return a.seq > b.seq;
+    }
+  };
+
+  void loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stopping_) {
+      while (!heap_.empty()) {
+        auto it = cancelled_.find(heap_.top().id);
+        if (it == cancelled_.end()) break;
+        cancelled_.erase(it);
+        heap_.pop();
+      }
+      if (heap_.empty()) {
+        idle_cv_.notify_all();
+        cv_.wait(lock, [this] { return stopping_ || !heap_.empty(); });
+        continue;
+      }
+      TimePoint deadline = heap_.top().deadline;
+      TimePoint current = now();
+      if (deadline > current) {
+        cv_.wait_for(lock, deadline - current);
+        continue;
+      }
+      Event ev = std::move(const_cast<Event&>(heap_.top()));
+      heap_.pop();
+      executing_ = true;
+      lock.unlock();
+      ev.fn();
+      executed_.fetch_add(1, std::memory_order_relaxed);
+      lock.lock();
+      executing_ = false;
+      if (heap_.size() == cancelled_.size()) idle_cv_.notify_all();
+    }
+  }
+
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::unordered_set<TimerId> cancelled_;
+  std::uint64_t next_seq_ = 0;
+  TimerId next_id_ = 1;
+  bool stopping_ = false;
+  bool executing_ = false;
+  std::atomic<std::uint64_t> executed_{0};
+  std::thread loop_thread_;
+};
+
+}  // namespace ilu::bench

@@ -28,6 +28,7 @@
 
 #include <array>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <ctime>
 #include <filesystem>
@@ -36,6 +37,7 @@
 
 #include "bench_util.hpp"
 #include "lint/lint.hpp"
+#include "mutex_heap_runtime.hpp"
 #include "pointer_pool_baseline.hpp"
 #include "util/json.hpp"
 
@@ -578,6 +580,170 @@ ObsTiming obs_timing(int iters) {
   return out;
 }
 
+/// Live (wall-clock) engine: the sharded-stage timer wheel vs the retired
+/// mutex + priority_queue + tombstone runtime
+/// (bench/mutex_heap_runtime.hpp), measured as wall-clock op throughput
+/// with the loop thread running, then a miniature open-loop serving stage
+/// through a real Worker (the full sweep is bench/live_serve).
+struct LiveEngineTiming {
+  double wheel_ops_per_sec = 0.0;
+  double heap_ops_per_sec = 0.0;
+  double wheel_contended_ops_per_sec = 0.0;
+  double heap_contended_ops_per_sec = 0.0;
+  double contended_speedup = 0.0;
+  double serve_target_per_min = 0.0;
+  double serve_achieved_per_sec = 0.0;
+  std::uint64_t serve_completed = 0;
+  bool serve_timed_out = false;
+  double serve_overhead_p50_ms = 0.0;
+  double serve_overhead_p99_ms = 0.0;
+  double serve_overhead_p999_ms = 0.0;
+};
+
+/// Cross-thread schedule+cancel against a live loop thread, 1ms deadlines.
+template <class RT>
+double live_sched_cancel_ops_per_sec(int rounds) {
+  RT rt;
+  std::vector<Runtime::TimerId> ids(512);
+  auto t0 = Clock::now();
+  for (int r = 0; r < rounds; ++r) {
+    for (int i = 0; i < 512; ++i) {
+      ids[static_cast<std::size_t>(i)] =
+          rt.schedule(usecs(1000 + (i * 31) % 512), [] {});
+    }
+    for (int i = 0; i < 512; ++i) rt.cancel(ids[static_cast<std::size_t>(i)]);
+  }
+  double s = seconds_since(t0);
+  return s > 0.0 ? rounds * 1024.0 / s : 0.0;
+}
+
+/// 4 producers staging/cancelling concurrently, with backpressure so the
+/// backlog stays bounded on few-core hosts (mirrors
+/// micro_ops::BM_*ContendedLive).
+template <class RT>
+double live_contended_ops_per_sec(int rounds) {
+  constexpr int kProducers = 4;
+  RT rt;
+  auto t0 = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(kProducers);
+  for (int t = 0; t < kProducers; ++t) {
+    threads.emplace_back([&rt, rounds] {
+      std::array<Runtime::TimerId, 64> ring{};
+      for (int i = 0; i < rounds * 512; ++i) {
+        if ((i & 255) == 0) {
+          while (rt.pending() > 64 * 1024) std::this_thread::yield();
+        }
+        ring[static_cast<std::size_t>(i % 64)] =
+            rt.schedule(usecs(1000 + (i % 128)), [] {});
+        if (i % 2 == 1) {
+          rt.cancel(ring[static_cast<std::size_t>((i / 2) % 64)]);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  double s = seconds_since(t0);
+  return s > 0.0 ? kProducers * rounds * 512.0 * 1.5 / s : 0.0;
+}
+
+LiveEngineTiming live_engine_timing(bool smoke) {
+  LiveEngineTiming out;
+  const int rounds = smoke ? 40 : 400;
+  out.wheel_ops_per_sec = live_sched_cancel_ops_per_sec<RealRuntime>(rounds);
+  out.heap_ops_per_sec =
+      live_sched_cancel_ops_per_sec<bench::MutexHeapRuntime>(rounds);
+  out.wheel_contended_ops_per_sec =
+      live_contended_ops_per_sec<RealRuntime>(rounds);
+  out.heap_contended_ops_per_sec =
+      live_contended_ops_per_sec<bench::MutexHeapRuntime>(rounds);
+  out.contended_speedup =
+      out.heap_contended_ops_per_sec > 0.0
+          ? out.wheel_contended_ops_per_sec / out.heap_contended_ops_per_sec
+          : 0.0;
+
+  // Miniature serving stage. Smoke keeps the rate tiny (sanitizer matrices
+  // run this harness); the full run offers 1M invocations/minute.
+  const double per_min = smoke ? 30000.0 : 1000000.0;
+  const double per_sec = per_min / 60.0;
+  const Duration duration = smoke ? usecs(1500000) : secs(3);
+  constexpr std::size_t kFns = 64;
+  out.serve_target_per_min = per_min;
+  {
+    RealRuntime rt;
+    WorkerConfig cfg;
+    cfg.name = "run_all_live";
+    cfg.cores = 384.0;
+    cfg.memory_mb = 512 * 1024;
+    cfg.regulator.limit = 2048.0;
+    cfg.bypass_threshold = msecs(50);
+    cfg.bypass_load_limit = 64.0;
+    cfg.netns.target_size = 2048;
+    cfg.netns.low_watermark = 512;
+    cfg.tracing = false;
+    cfg.predictive_prewarm = false;
+    Worker w(rt, cfg);
+    std::vector<SyntheticFunctionSpec> specs;
+    const double fn_iat_us = 1e6 * static_cast<double>(kFns) / per_sec;
+    for (std::size_t i = 0; i < kFns; ++i) {
+      SyntheticFunctionSpec s;
+      s.profile.name = "live_fn_" + std::to_string(i);
+      s.profile.mem_mb = 128;
+      s.profile.warm_time = msecs(4);
+      s.profile.init_time = msecs(20);
+      s.mean_iat = usecs(static_cast<std::int64_t>(fn_iat_us));
+      s.exponential = false;
+      s.phase = usecs(static_cast<std::int64_t>(
+          fn_iat_us * static_cast<double>(i) / kFns));
+      specs.push_back(std::move(s));
+    }
+    std::vector<FunctionId> fns;
+    for (auto& s : specs) fns.push_back(w.register_function(s.profile));
+    w.start();
+    // Prewarm to cover the offered per-function overlap (see live_serve).
+    const auto prewarms = static_cast<std::size_t>(std::max(
+        4.0, std::ceil(per_sec / static_cast<double>(kFns) * 0.006 * 4.0)));
+    std::atomic<std::size_t> warmed{0};
+    for (FunctionId f : fns) {
+      for (std::size_t k = 0; k < prewarms; ++k) {
+        rt.post([&w, &warmed, f] {
+          w.prewarm(f, [&warmed](bool) {
+            warmed.fetch_add(1, std::memory_order_release);
+          });
+        });
+      }
+    }
+    while (warmed.load(std::memory_order_acquire) < fns.size() * prewarms) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    TraceArena arena = make_synthetic_arena(specs, duration, 17);
+    EventView view(arena);
+    LiveLoadHarness harness(
+        rt, [&w](FunctionId f, LiveLoadHarness::CompletionCb cb) {
+          w.invoke(f, std::move(cb));
+        });
+    LiveLoadConfig lcfg;
+    lcfg.producers = smoke ? 2 : 4;
+    LiveLoadStats stats;
+    harness.run(view, lcfg, &stats);
+    out.serve_achieved_per_sec = stats.achieved_per_sec;
+    out.serve_completed = stats.completed.load(std::memory_order_relaxed);
+    out.serve_timed_out = stats.timed_out;
+    out.serve_overhead_p50_ms = stats.overhead_ms.percentile(0.50);
+    out.serve_overhead_p99_ms = stats.overhead_ms.percentile(0.99);
+    out.serve_overhead_p999_ms = stats.overhead_ms.percentile(0.999);
+    std::atomic<bool> down{false};
+    rt.post([&w, &down] {
+      w.shutdown();
+      down.store(true, std::memory_order_release);
+    });
+    while (!down.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  return out;
+}
+
 LintTiming lint_tree_timing() {
   LintTiming out;
   auto t0 = Clock::now();
@@ -677,6 +843,24 @@ int main(int argc, char** argv) {
   std::printf("%-36s %12.1f ns\n", "log-hist observe",
               ob.hist_ns_per_record);
 
+  auto lv = live_engine_timing(smoke);
+  std::printf("%-36s %12.0f /s\n", "live sched+cancel (wheel)",
+              lv.wheel_ops_per_sec);
+  std::printf("%-36s %12.0f /s\n", "live sched+cancel (mutex+heap)",
+              lv.heap_ops_per_sec);
+  std::printf("%-36s %12.0f /s\n", "live contended x4 (wheel)",
+              lv.wheel_contended_ops_per_sec);
+  std::printf("%-36s %12.0f /s\n", "live contended x4 (mutex+heap)",
+              lv.heap_contended_ops_per_sec);
+  std::printf("%-36s %12.2fx\n", "live contended wheel speedup",
+              lv.contended_speedup);
+  std::printf("%-36s %12.0f /s (target %.0f/min)%s\n", "live serve achieved",
+              lv.serve_achieved_per_sec, lv.serve_target_per_min,
+              lv.serve_timed_out ? " [TIMED OUT]" : "");
+  std::printf("%-36s %7.2f/%7.2f/%7.2f ms\n",
+              "live serve overhead p50/p99/p999", lv.serve_overhead_p50_ms,
+              lv.serve_overhead_p99_ms, lv.serve_overhead_p999_ms);
+
   // Append this run to the trajectory file (create if absent).
   JsonObject run;
   run["label"] = label;
@@ -735,6 +919,20 @@ int main(int argc, char** argv) {
   obs["recorder_disabled_ns_per_event"] = ob.recorder_disabled_ns_per_event;
   obs["hist_ns_per_record"] = ob.hist_ns_per_record;
   run["obs"] = obs;
+  JsonObject live;
+  live["wheel_ops_per_sec"] = lv.wheel_ops_per_sec;
+  live["heap_ops_per_sec"] = lv.heap_ops_per_sec;
+  live["wheel_contended_ops_per_sec"] = lv.wheel_contended_ops_per_sec;
+  live["heap_contended_ops_per_sec"] = lv.heap_contended_ops_per_sec;
+  live["contended_speedup"] = lv.contended_speedup;
+  live["serve_target_per_min"] = lv.serve_target_per_min;
+  live["serve_achieved_per_sec"] = lv.serve_achieved_per_sec;
+  live["serve_completed"] = lv.serve_completed;
+  live["serve_timed_out"] = lv.serve_timed_out;
+  live["serve_overhead_p50_ms"] = lv.serve_overhead_p50_ms;
+  live["serve_overhead_p99_ms"] = lv.serve_overhead_p99_ms;
+  live["serve_overhead_p999_ms"] = lv.serve_overhead_p999_ms;
+  run["live"] = live;
 
   JsonObject doc;
   JsonArray runs;

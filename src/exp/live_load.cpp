@@ -1,0 +1,157 @@
+#include "exp/live_load.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/flight.hpp"
+
+namespace ilu {
+
+void LiveLoadStats::reset() {
+  submitted.store(0, std::memory_order_relaxed);
+  completed.store(0, std::memory_order_relaxed);
+  failed.store(0, std::memory_order_relaxed);
+  dropped.store(0, std::memory_order_relaxed);
+  cold.store(0, std::memory_order_relaxed);
+  bypassed.store(0, std::memory_order_relaxed);
+  last_done_us.store(0, std::memory_order_relaxed);
+  lateness_ms.reset();
+  submit_lag_ms.reset();
+  overhead_ms.reset();
+  queue_wait_ms.reset();
+  offered_per_sec = 0.0;
+  achieved_per_sec = 0.0;
+  wall_s = 0.0;
+  timed_out = false;
+}
+
+LiveLoadHarness::LiveLoadHarness(RealRuntime& rt, InvokeFn invoke)
+    : rt_(rt), invoke_(std::move(invoke)) {}
+
+void LiveLoadHarness::producer(const EventView& events,
+                               const LiveLoadConfig& cfg, std::size_t index,
+                               std::int64_t base_us, LiveLoadStats* out) {
+  const std::size_t n = events.size();
+  const std::size_t stride = std::max<std::size_t>(1, cfg.producers);
+  const auto epoch = rt_.epoch_steady();
+
+  // Producer 0 stamps flight milestones at the deciles of its own (strided)
+  // share — a representative progress signal without cross-thread counting.
+  std::size_t mine = 0;
+  for (std::size_t i = index; i < n; i += stride) ++mine;
+  const bool lead = cfg.milestones && index == 0 && mine > 0;
+  std::size_t next_decile = 1;
+
+  std::size_t done = 0;
+  for (std::size_t i = index; i < n; i += stride) {
+    const auto offset_us = static_cast<std::int64_t>(
+        static_cast<double>(events.at(i).count()) * cfg.time_scale);
+    const std::int64_t intended_us = base_us + offset_us;
+    // Absolute-deadline pacing on the runtime's own clock: no drift
+    // accumulation across events, and no wall-clock read to compute it.
+    std::this_thread::sleep_until(epoch +
+                                  std::chrono::microseconds(intended_us));
+    const std::int64_t actual_us = rt_.now().count();
+    const std::int64_t late_us = actual_us - intended_us;
+    out->lateness_ms.observe(
+        late_us > 0 ? static_cast<double>(late_us) / 1000.0 : 0.0);
+
+    const FunctionId fn = events.fn(i);
+    LiveLoadStats* s = out;
+    // The posted task runs on the runtime loop thread — where the Worker
+    // (loop-thread-confined) may be invoked. Its first act is to stamp the
+    // producer→loop handoff latency, the exact stage+drain path under test.
+    rt_.post([this, s, fn, actual_us] {
+      s->submit_lag_ms.observe(
+          static_cast<double>(rt_.now().count() - actual_us) / 1000.0);
+      invoke_(fn, [s](const InvokeResult& r) {
+        // Everything recorded here must happen-before run()'s completion
+        // wait releasing the caller thread to read the histograms, so the
+        // terminal finished-counter increment is strictly last and
+        // release-ordered (finished() loads with acquire).
+        if (!r.dropped && r.success) {
+          if (r.cold) s->cold.fetch_add(1, std::memory_order_relaxed);
+          if (r.bypassed) s->bypassed.fetch_add(1, std::memory_order_relaxed);
+          s->overhead_ms.observe(
+              static_cast<double>(r.overhead().count()) / 1000.0);
+          s->queue_wait_ms.observe(
+              static_cast<double>(r.queue_wait.count()) / 1000.0);
+        }
+        const std::int64_t done_us = r.completed.count();
+        std::int64_t cur = s->last_done_us.load(std::memory_order_relaxed);
+        while (done_us > cur && !s->last_done_us.compare_exchange_weak(
+                                    cur, done_us, std::memory_order_relaxed)) {
+        }
+        if (r.dropped) {
+          s->dropped.fetch_add(1, std::memory_order_release);
+        } else if (!r.success) {
+          s->failed.fetch_add(1, std::memory_order_release);
+        } else {
+          s->completed.fetch_add(1, std::memory_order_release);
+        }
+      });
+    });
+    out->submitted.fetch_add(1, std::memory_order_relaxed);
+
+    ++done;
+    while (lead && next_decile <= 10 && done * 10 >= next_decile * mine) {
+      flight::record(static_cast<std::uint64_t>(actual_us),
+                     flight::Ev::kReplayMilestone,
+                     static_cast<std::uint32_t>(next_decile * 10));
+      ++next_decile;
+    }
+  }
+}
+
+void LiveLoadHarness::run(const EventView& events, const LiveLoadConfig& cfg,
+                          LiveLoadStats* out) {
+  out->reset();
+  const std::size_t n = events.size();
+  const std::int64_t base_us = rt_.now().count() + cfg.lead_in.count();
+  if (cfg.milestones) flight::record(rt_.now(), flight::Ev::kReplayMilestone, 0);
+
+  const std::size_t producers = std::max<std::size_t>(1, cfg.producers);
+  std::vector<std::thread> threads;
+  threads.reserve(producers);
+  for (std::size_t p = 0; p < producers; ++p) {
+    threads.emplace_back([this, &events, &cfg, p, base_us, out] {
+      producer(events, cfg, p, base_us, out);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Completion watchdog. Deliberately on the raw clock, not rt_.now(): the
+  // timeout must keep ticking no matter what the runtime under test does.
+  const std::uint64_t total = out->submitted.load(std::memory_order_relaxed);
+  // ilu-lint: allow(wall-clock) - watchdog deadline must be independent of the runtime under test
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(cfg.completion_timeout.count());
+  while (out->finished() < total) {
+    // ilu-lint: allow(wall-clock) - watchdog poll against the deadline above
+    if (std::chrono::steady_clock::now() >= deadline) {
+      out->timed_out = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  if (cfg.milestones)
+    flight::record(rt_.now(), flight::Ev::kReplayMilestone, 100);
+
+  const std::int64_t end_us =
+      std::max(out->last_done_us.load(std::memory_order_relaxed), base_us);
+  out->wall_s = static_cast<double>(end_us - base_us) / 1e6;
+  const double span_s =
+      n ? static_cast<double>(events.at(n - 1).count()) * cfg.time_scale / 1e6
+        : 0.0;
+  out->offered_per_sec =
+      span_s > 0.0 ? static_cast<double>(n) / span_s : 0.0;
+  out->achieved_per_sec =
+      out->wall_s > 0.0
+          ? static_cast<double>(out->finished()) / out->wall_s
+          : 0.0;
+}
+
+}  // namespace ilu

@@ -40,6 +40,7 @@
 #include "core/span_tracer.hpp"
 #include "core/energy.hpp"
 #include "core/worker.hpp"
+#include "exp/live_load.hpp"
 #include "exp/sweep.hpp"
 #include "keepalive/cache.hpp"
 #include "keepalive/policy.hpp"
@@ -61,6 +62,7 @@
 #include "runtime/real_runtime.hpp"
 #include "runtime/sharded_runtime.hpp"
 #include "runtime/sim_runtime.hpp"
+#include "runtime/timer_wheel.hpp"
 #include "trace/arena_file.hpp"
 #include "trace/arena_gen.hpp"
 #include "trace/azure.hpp"

@@ -172,6 +172,17 @@ void LogHistogram::merge(const LogHistogram& other) {
   }
 }
 
+void LogHistogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_micro_.store(0, std::memory_order_relaxed);
+  overflow_count_.store(0, std::memory_order_relaxed);
+  min_micro_.store(std::numeric_limits<std::int64_t>::max(),
+                   std::memory_order_relaxed);
+  max_micro_.store(std::numeric_limits<std::int64_t>::min(),
+                   std::memory_order_relaxed);
+}
+
 Counter* MetricsRegistry::counter(const std::string& name) {
   std::lock_guard<std::mutex> lk(mu_);
   auto& slot = counters_[name];

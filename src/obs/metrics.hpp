@@ -182,6 +182,12 @@ class LogHistogram {
   /// order/grouping). Geometries must match.
   void merge(const LogHistogram& other);
 
+  /// Zero every bucket and scalar, returning the instrument to its
+  /// just-constructed state. Not atomic with respect to concurrent
+  /// observe() — quiesce writers first (the live-load harness resets
+  /// between sweep stages, after each stage has drained).
+  void reset();
+
  private:
   /// Pure bucket index for x in [0, max_value). Underflow and NaN clamp to
   /// bucket 0.

@@ -18,73 +18,93 @@ TimePoint RealRuntime::now() const {
 
 Runtime::TimerId RealRuntime::schedule(Duration delay, Task fn) {
   assert(delay >= Duration::zero());
-  std::lock_guard<std::mutex> lock(mu_);
-  if (stopping_) return kInvalidTimer;
-  TimerId id = next_id_++;
-  heap_.push(Event{now() + delay, next_seq_++, id, std::move(fn)});
-  cv_.notify_one();
+  if (stopping_.load(std::memory_order_acquire)) return kInvalidTimer;
+  const std::uint64_t deadline_us =
+      now_us() + static_cast<std::uint64_t>(
+                     delay.count() > 0 ? delay.count() : 0);
+  // Loop-thread schedules (callback chains, the worker's own timers) link
+  // straight into the wheel: no staging hop, no mutex, no wake.
+  if (on_loop_thread()) return wheel_.arm(deadline_us, std::move(fn));
+  const TimerId id = wheel_.stage(deadline_us, std::move(fn));
+  // Dekker handshake with loop(): stage() bumped the staged-push counter
+  // seq_cst; if we still see sleeping_ == false here, the loop's pre-wait
+  // check is guaranteed to see our push and skip the sleep. The empty
+  // lock_guard closes the window between the sleeper's predicate check
+  // and its actual block.
+  if (sleeping_.load(std::memory_order_seq_cst)) {
+    { std::lock_guard<std::mutex> lk(wake_mu_); }
+    wake_cv_.notify_one();
+  }
   return id;
 }
 
 bool RealRuntime::cancel(TimerId id) {
-  if (id == kInvalidTimer) return false;
-  std::lock_guard<std::mutex> lock(mu_);
-  if (id >= next_id_) return false;
-  return cancelled_.insert(id).second;
+  const bool cancelled = wheel_.cancel(id, on_loop_thread());
+  if (cancelled && wheel_.live() == 0) {
+    std::lock_guard<std::mutex> lk(idle_mu_);
+    idle_cv_.notify_all();
+  }
+  return cancelled;
 }
 
 void RealRuntime::drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] {
-    return stopping_ || (heap_.size() == cancelled_.size() && !executing_);
+  std::unique_lock<std::mutex> lk(idle_mu_);
+  idle_cv_.wait(lk, [this] {
+    return stopping_.load(std::memory_order_acquire) || wheel_.live() == 0;
   });
 }
 
 void RealRuntime::shutdown() {
+  stopping_.store(true, std::memory_order_release);
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_) {
-      // Already shut down (dtor after explicit shutdown()).
-      if (!loop_thread_.joinable()) return;
-    }
-    stopping_ = true;
-    cv_.notify_all();
-    idle_cv_.notify_all();
+    std::lock_guard<std::mutex> lk(wake_mu_);
   }
+  wake_cv_.notify_all();
+  {
+    std::lock_guard<std::mutex> lk(idle_mu_);
+  }
+  idle_cv_.notify_all();
+  std::lock_guard<std::mutex> jl(join_mu_);
   if (loop_thread_.joinable()) loop_thread_.join();
 }
 
 void RealRuntime::loop() {
-  std::unique_lock<std::mutex> lock(mu_);
-  while (!stopping_) {
-    // Discard cancelled events at the head.
-    while (!heap_.empty()) {
-      auto it = cancelled_.find(heap_.top().id);
-      if (it == cancelled_.end()) break;
-      cancelled_.erase(it);
-      heap_.pop();
+  wheel_.bind_consumer();
+  for (;;) {
+    wheel_.drain_staged();
+    for (;;) {
+      const std::size_t fired = wheel_.advance(now_us());
+      if (fired != 0) {
+        executed_.fetch_add(fired, std::memory_order_relaxed);
+        wheel_.drain_staged();
+        continue;
+      }
+      // Nothing due; pick up any last-instant submissions before deciding
+      // whether to sleep.
+      if (wheel_.drain_staged() == 0) break;
     }
-    if (heap_.empty()) {
+    if (stopping_.load(std::memory_order_acquire)) return;
+    if (wheel_.live() == 0) {
+      std::lock_guard<std::mutex> lk(idle_mu_);
       idle_cv_.notify_all();
-      cv_.wait(lock, [this] { return stopping_ || !heap_.empty(); });
+    }
+    std::uint64_t hint_us = 0;
+    const bool has_hint = wheel_.next_deadline_hint(&hint_us);
+    std::unique_lock<std::mutex> lk(wake_mu_);
+    sleeping_.store(true, std::memory_order_seq_cst);
+    if (wheel_.has_staged() || stopping_.load(std::memory_order_relaxed)) {
+      sleeping_.store(false, std::memory_order_relaxed);
       continue;
     }
-    TimePoint deadline = heap_.top().deadline;
-    TimePoint current = now();
-    if (deadline > current) {
-      cv_.wait_for(lock, deadline - current);
-      continue;  // re-check: new earlier event or cancellation may have come
-    }
-    // priority_queue::top is const; moving from it is safe right before pop.
-    Event ev = std::move(const_cast<Event&>(heap_.top()));
-    heap_.pop();
-    executing_ = true;
-    lock.unlock();
-    ev.fn();
-    executed_.fetch_add(1, std::memory_order_relaxed);
-    lock.lock();
-    executing_ = false;
-    if (heap_.size() == cancelled_.size()) idle_cv_.notify_all();
+    const auto pred = [this] {
+      return stopping_.load(std::memory_order_relaxed) || wheel_.has_staged();
+    };
+    if (has_hint)
+      wake_cv_.wait_until(lk, epoch_ + std::chrono::microseconds(hint_us),
+                          pred);
+    else
+      wake_cv_.wait(lk, pred);
+    sleeping_.store(false, std::memory_order_relaxed);
   }
 }
 

@@ -1,0 +1,12 @@
+// Fixture: the annotated-allow tier (exp/live_load.*). Wall-clock reads are
+// tolerated here, but only when every site carries a reasoned per-site
+// annotation — the shape the real harness uses for its completion watchdog.
+#include <chrono>
+
+long fixture_wall_clock_live_harness() {
+  // ilu-lint: allow(wall-clock) - watchdog deadline must be independent of the runtime under test
+  auto deadline = std::chrono::steady_clock::now();
+  // ilu-lint: allow(wall-clock) - watchdog poll against the deadline above
+  auto t = std::chrono::steady_clock::now();
+  return (deadline - t).count();
+}

@@ -80,6 +80,39 @@ TEST(IluLint, WallClockAllowlistedPaths) {
   }
 }
 
+TEST(IluLint, WallClockAnnotatedAllowTierStillFires) {
+  // exp/live_load.* is NOT a blanket allowlist: unannotated wall-clock reads
+  // still fire, and the message directs the author to the per-site
+  // reasoned-annotation policy instead of the blanket ban.
+  auto fs = lint_fixture_at("wall_clock.cpp", "exp/live_load.cpp");
+  EXPECT_EQ(count_check(fs, "wall-clock"), 4);
+  for (const auto& f : fs) {
+    EXPECT_NE(f.message.find("annotated-allow tier"), std::string::npos)
+        << f.message;
+  }
+}
+
+TEST(IluLint, WallClockAnnotatedAllowTierCleanWhenAnnotated) {
+  // With a reasoned allow(wall-clock) on every site, the tier lints clean —
+  // exactly how the real harness' completion watchdog is written.
+  auto fs =
+      lint_fixture_at("wall_clock_live_harness.cpp", "exp/live_load.cpp");
+  EXPECT_TRUE(fs.empty()) << fs.size() << " unsuppressed finding(s)";
+}
+
+TEST(IluLint, WallClockAnnotatedTierOutsideItIsUnaffected) {
+  // The same annotated fixture at a banned path still lints clean (generic
+  // suppression), and the tier suffix never leaks into ordinary findings.
+  auto clean = lint_fixture_at("wall_clock_live_harness.cpp",
+                               "core/fixture.cpp");
+  EXPECT_TRUE(clean.empty());
+  auto fs = lint_fixture_at("wall_clock.cpp", "core/fixture.cpp");
+  for (const auto& f : fs) {
+    EXPECT_EQ(f.message.find("annotated-allow tier"), std::string::npos)
+        << f.message;
+  }
+}
+
 // ---- unordered-iter ------------------------------------------------------
 
 TEST(IluLint, UnorderedIterFires) {

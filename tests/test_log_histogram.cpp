@@ -38,6 +38,31 @@ TEST(LogHistogram, EmptyIsZero) {
   EXPECT_FALSE(h.saturated());
 }
 
+TEST(LogHistogram, ResetReturnsToEmptyAndObservesAgain) {
+  // The live-load harness reuses one stats block across sweep stages via
+  // reset() between quiesced runs; a stale bucket or min/max would corrupt
+  // every stage after the first.
+  LogHistogram h;
+  h.observe(0.5);
+  h.observe(42.0);
+  h.observe(4.0e5);  // overflow bucket too
+  ASSERT_EQ(h.count(), 3u);
+  ASSERT_EQ(h.overflow_count(), 1u);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.overflow_count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.observed_min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.observed_max(), 0.0);
+  // Fresh observations after reset behave exactly like a new histogram.
+  h.observe(3.7);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 3.7);
+  EXPECT_DOUBLE_EQ(h.observed_min(), 3.7);
+  EXPECT_DOUBLE_EQ(h.observed_max(), 3.7);
+}
+
 TEST(LogHistogram, GeometryCoversConfiguredRange) {
   LogHistogram h;  // [1e-3, 1e5) ms, 32 subbuckets/octave
   EXPECT_EQ(h.subbuckets(), 32u);

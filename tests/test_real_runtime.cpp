@@ -101,5 +101,126 @@ TEST(RealRuntime, DrainOnEmptyReturnsImmediately) {
   SUCCEED();
 }
 
+// Regression (pre-wheel bug): cancel() of a timer that already fired
+// returned true and left a tombstone in the cancelled_ set forever. The
+// generation-checked wheel must say false, exactly.
+TEST(RealRuntime, CancelAfterFireReturnsFalse) {
+  RealRuntime rt;
+  std::atomic<bool> fired{false};
+  const auto id = rt.schedule(msecs(1), [&] { fired = true; });
+  rt.drain();
+  ASSERT_TRUE(fired);
+  EXPECT_FALSE(rt.cancel(id));
+  EXPECT_FALSE(rt.cancel(id));  // idempotent
+}
+
+// Regression (pre-wheel bug): tombstones for fired timers accumulated
+// without bound. pending() is exact now — heavy fire + cancel churn must
+// end at zero, and ids from long ago must stay dead.
+TEST(RealRuntime, CancelChurnLeavesNothingPending) {
+  RealRuntime rt;
+  std::atomic<int> count{0};
+  std::vector<Runtime::TimerId> old_ids;
+  for (int round = 0; round < 20; ++round) {
+    std::vector<Runtime::TimerId> ids;
+    for (int i = 0; i < 100; ++i)
+      ids.push_back(rt.schedule(usecs(200 * i), [&] { count.fetch_add(1); }));
+    for (std::size_t i = 0; i < ids.size(); i += 2) rt.cancel(ids[i]);
+    rt.drain();
+    old_ids.push_back(ids.front());
+  }
+  EXPECT_EQ(rt.pending(), 0u);
+  for (const auto id : old_ids) EXPECT_FALSE(rt.cancel(id));
+  EXPECT_GT(count.load(), 0);
+}
+
+TEST(RealRuntime, PendingTracksScheduleAndCancel) {
+  RealRuntime rt;
+  const auto a = rt.schedule(secs(30), [] {});
+  const auto b = rt.schedule(secs(30), [] {});
+  const auto c = rt.schedule(secs(30), [] {});
+  EXPECT_EQ(rt.pending(), 3u);
+  EXPECT_TRUE(rt.cancel(b));
+  EXPECT_EQ(rt.pending(), 2u);
+  EXPECT_TRUE(rt.cancel(a));
+  EXPECT_TRUE(rt.cancel(c));
+  rt.drain();  // all cancelled: returns without waiting 30 s
+  EXPECT_EQ(rt.pending(), 0u);
+}
+
+// Multi-producer schedule/cancel storm across the sharded submission
+// queues; every timer must either fire or be cancelled-true, exactly once.
+// Meaningful under TSan (tools/check_all.sh runs this suite there).
+TEST(RealRuntime, MultiProducerScheduleCancelStorm) {
+  RealRuntime rt;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 2000;
+  std::atomic<std::uint64_t> fired{0};
+  std::atomic<std::uint64_t> cancelled{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      std::vector<Runtime::TimerId> mine;
+      mine.reserve(kPerProducer);
+      for (int i = 0; i < kPerProducer; ++i) {
+        mine.push_back(rt.schedule(usecs((i % 7) * 300),
+                                   [&] { fired.fetch_add(1); }));
+        if ((i + p) % 2 == 0) {
+          if (rt.cancel(mine[static_cast<std::size_t>(i) / 2]))
+            cancelled.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  rt.drain();
+  EXPECT_EQ(fired.load() + cancelled.load(),
+            static_cast<std::uint64_t>(kProducers) * kPerProducer);
+  EXPECT_EQ(rt.pending(), 0u);
+}
+
+// drain() racing shutdown() from another thread must never hang: the
+// stopping flag releases waiters even with undrained timers pending.
+TEST(RealRuntime, DrainVersusShutdownRace) {
+  for (int iter = 0; iter < 10; ++iter) {
+    RealRuntime rt;
+    rt.schedule(secs(30), [] {});
+    std::thread drainer([&] { rt.drain(); });
+    std::thread spammer([&] {
+      for (int i = 0; i < 100; ++i) rt.schedule(secs(10), [] {});
+    });
+    rt.shutdown();
+    drainer.join();
+    spammer.join();
+  }
+  SUCCEED();
+}
+
+// Producers hammering schedule() while shutdown runs: late schedules must
+// return kInvalidTimer or be dropped cleanly (tasks destroyed, no leak —
+// ASan-visible in the check_all matrix), never crash.
+TEST(RealRuntime, ShutdownWhileProducersSchedule) {
+  std::atomic<int> invalid{0};
+  {
+    RealRuntime rt;
+    std::atomic<bool> go{false};
+    std::vector<std::thread> producers;
+    for (int p = 0; p < 3; ++p) {
+      producers.emplace_back([&] {
+        while (!go.load()) {
+        }
+        for (int i = 0; i < 500; ++i) {
+          if (rt.schedule(msecs(100), [] {}) == Runtime::kInvalidTimer)
+            invalid.fetch_add(1);
+        }
+      });
+    }
+    go = true;
+    rt.shutdown();
+    for (auto& t : producers) t.join();
+  }
+  SUCCEED();
+}
+
 }  // namespace
 }  // namespace ilu

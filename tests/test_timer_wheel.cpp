@@ -1,0 +1,414 @@
+#include "runtime/timer_wheel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "runtime/sim_runtime.hpp"
+#include "util/rng.hpp"
+
+// TimerWheel is clock-free: the consumer supplies now_us. That makes every
+// single-threaded test here fully deterministic — no sleeps, no flaky wall
+// clock — including the cascade paths, which are driven with synthetic
+// jumps of hours.
+namespace ilu {
+namespace {
+
+constexpr std::uint64_t kTick = 1ull << TimerWheel::kTickShiftUs;  // 1024 us
+
+TEST(TimerWheel, ArmFiresAtExactDeadlineNotTickStart) {
+  TimerWheel w;
+  w.bind_consumer();
+  int fired = 0;
+  w.arm(5000, [&] { ++fired; });
+  // 5000 us sits inside tick 4 (4096..5119): the tick being current must
+  // not fire it early.
+  EXPECT_EQ(w.advance(4999), 0u);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(w.advance(5000), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(w.live(), 0u);
+}
+
+TEST(TimerWheel, ZeroDelayFiresOnNextAdvance) {
+  TimerWheel w;
+  w.bind_consumer();
+  bool ran = false;
+  w.arm(0, [&] { ran = true; });
+  EXPECT_EQ(w.advance(0), 1u);
+  EXPECT_TRUE(ran);
+}
+
+TEST(TimerWheel, FiresInDeadlineThenSeqOrder) {
+  TimerWheel w;
+  w.bind_consumer();
+  std::vector<int> order;
+  w.arm(70000, [&] { order.push_back(3); });
+  w.arm(20000, [&] { order.push_back(1); });
+  w.arm(20000, [&] { order.push_back(2); });  // equal deadline: FIFO
+  w.arm(500000, [&] { order.push_back(4); });
+  std::uint64_t now = 0;
+  while (w.live() != 0) {
+    now += 7777;
+    w.advance(now);
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(TimerWheel, NeverFiresBeforeDeadline) {
+  TimerWheel w;
+  w.bind_consumer();
+  Rng rng(1234);
+  std::uint64_t now = 0;
+  std::atomic<std::uint64_t> current_now{0};
+  int violations = 0;
+  int fired = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t deadline = rng.uniform_index(2'000'000);
+    w.arm(deadline, [&, deadline] {
+      ++fired;
+      if (current_now.load() < deadline) ++violations;
+    });
+  }
+  while (w.live() != 0) {
+    now += 1 + rng.uniform_index(4000);
+    current_now.store(now);
+    w.advance(now);
+  }
+  EXPECT_EQ(fired, 2000);
+  EXPECT_EQ(violations, 0);
+}
+
+TEST(TimerWheel, CancelPreventsFireAndDoubleCancelIsFalse) {
+  TimerWheel w;
+  w.bind_consumer();
+  bool ran = false;
+  const auto id = w.arm(50000, [&] { ran = true; });
+  EXPECT_TRUE(w.cancel(id, /*on_consumer_thread=*/true));
+  EXPECT_FALSE(w.cancel(id, true));
+  EXPECT_EQ(w.live(), 0u);
+  w.advance(100000);
+  EXPECT_FALSE(ran);
+}
+
+TEST(TimerWheel, CancelAfterFireReturnsFalse) {
+  TimerWheel w;
+  w.bind_consumer();
+  const auto id = w.arm(1000, [] {});
+  EXPECT_EQ(w.advance(2000), 1u);
+  EXPECT_FALSE(w.cancel(id, true));
+  EXPECT_FALSE(w.cancel(id, false));
+}
+
+TEST(TimerWheel, StaleIdOnReusedSlotIsRejected) {
+  TimerWheel w;
+  w.bind_consumer();
+  const auto id1 = w.arm(1000, [] {});
+  EXPECT_EQ(w.advance(2000), 1u);
+  // The freed slot is recycled for the next arm; the old id's generation
+  // no longer matches.
+  const auto id2 = w.arm(5000, [] {});
+  EXPECT_EQ(id1 & 0xffffffffu, id2 & 0xffffffffu);  // same slot reused
+  EXPECT_NE(id1, id2);
+  EXPECT_FALSE(w.cancel(id1, true));
+  EXPECT_TRUE(w.cancel(id2, true));
+}
+
+TEST(TimerWheel, CancelFromCallbackOfSameTickTimerReturnsTrue) {
+  TimerWheel w;
+  w.bind_consumer();
+  bool second_ran = false;
+  bool cancel_result = false;
+  TimerWheel::TimerId second = 0;
+  w.arm(9000, [&] { cancel_result = w.cancel(second, true); });
+  second = w.arm(9050, [&] { second_ran = true; });
+  w.advance(20000);
+  EXPECT_TRUE(cancel_result);
+  EXPECT_FALSE(second_ran);
+  EXPECT_EQ(w.live(), 0u);
+}
+
+TEST(TimerWheel, ScheduleFromCallbackFiresLater) {
+  TimerWheel w;
+  w.bind_consumer();
+  std::vector<int> order;
+  w.arm(1000, [&] {
+    order.push_back(1);
+    w.arm(3000, [&] { order.push_back(2); });
+  });
+  w.advance(2000);
+  EXPECT_EQ(w.live(), 1u);
+  w.advance(4000);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(TimerWheel, CascadesThroughEveryLevel) {
+  TimerWheel w;
+  w.bind_consumer();
+  // One timer per wheel level: near (L0), ~0.4 s (L1), ~120 s (L2),
+  // ~5 h (L3), plus one past the 51-day horizon (clamped, re-cascades).
+  const std::uint64_t deadlines[] = {
+      200 * kTick / 256 + 5000,      // L0
+      400'000,                       // L1
+      120ull * 1'000'000,            // L2
+      5ull * 3600 * 1'000'000,      // L3
+      60ull * 86400 * 1'000'000,    // beyond horizon -> clamp + re-cascade
+  };
+  std::atomic<std::uint64_t> current_now{0};
+  int fired = 0;
+  int violations = 0;
+  for (const std::uint64_t d : deadlines)
+    w.arm(d, [&, d] {
+      ++fired;
+      if (current_now.load() < d) ++violations;
+    });
+  std::uint64_t now = 0;
+  // March far past the last deadline in coarse, uneven jumps.
+  while (w.live() != 0 && now < 61ull * 86400 * 1'000'000) {
+    now += 37'000'000;  // 37 s per step: crosses many cascade boundaries
+    current_now.store(now);
+    w.advance(now);
+  }
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(violations, 0);
+}
+
+TEST(TimerWheel, HintIsExactForCurrentTickAndLowerBoundForFar) {
+  TimerWheel w;
+  w.bind_consumer();
+  w.advance(4500);  // current tick 4
+  std::uint64_t hint = 0;
+  EXPECT_FALSE(w.next_deadline_hint(&hint));
+  w.arm(5000, [] {});  // same tick as now
+  ASSERT_TRUE(w.next_deadline_hint(&hint));
+  EXPECT_EQ(hint, 5000u);
+
+  const auto far = w.arm(10'000'000, [] {});  // 10 s out (L2)
+  ASSERT_TRUE(w.next_deadline_hint(&hint));
+  EXPECT_EQ(hint, 5000u);  // near timer still dominates
+  EXPECT_TRUE(w.cancel(far, true));
+}
+
+TEST(TimerWheel, SleepAdvanceLoopConvergesOnFarDeadline) {
+  // Simulates RealRuntime's idle loop: sleep to the hint, advance, re-hint.
+  // Each wake either fires the timer or crosses a cascade boundary, so the
+  // loop must converge in a handful of iterations, never spin.
+  TimerWheel w;
+  w.bind_consumer();
+  const std::uint64_t deadline = 90ull * 1'000'000;  // 90 s: L2
+  bool ran = false;
+  w.arm(deadline, [&] { ran = true; });
+  std::uint64_t now = 0;
+  int wakes = 0;
+  while (w.live() != 0) {
+    std::uint64_t hint = 0;
+    ASSERT_TRUE(w.next_deadline_hint(&hint));
+    EXPECT_LE(hint, deadline);
+    EXPECT_GT(hint, now);  // hint is always in the future: no busy spin
+    now = hint;
+    w.advance(now);
+    ASSERT_LT(++wakes, 10);
+  }
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(now, deadline);  // final wake is exactly the deadline
+}
+
+TEST(TimerWheel, StagedNodesFireAfterDrain) {
+  TimerWheel w;
+  w.bind_consumer();
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) w.stage(1000 + i, [&] { ++fired; });
+  EXPECT_TRUE(w.has_staged());
+  EXPECT_EQ(w.live(), 10u);
+  EXPECT_EQ(w.drain_staged(), 10u);
+  EXPECT_FALSE(w.has_staged());
+  EXPECT_EQ(w.advance(5000), 10u);
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(TimerWheel, CancelWhileStagedIsReapedAtDrain) {
+  TimerWheel w;
+  w.bind_consumer();
+  bool ran = false;
+  const auto id = w.stage(1000, [&] { ran = true; });
+  EXPECT_TRUE(w.cancel(id, true));  // home not set yet: no eager unlink
+  EXPECT_EQ(w.live(), 0u);
+  w.drain_staged();
+  w.advance(5000);
+  EXPECT_FALSE(ran);
+}
+
+TEST(TimerWheel, MemoryBoundedUnderScheduleCancelChurn) {
+  // The old tombstone set grew forever under cancel churn. The wheel must
+  // recycle: 50 rounds of (1000 arms, 1000 cancels) may not materialize
+  // more than ~2 chunks of nodes.
+  TimerWheel w;
+  w.bind_consumer();
+  std::uint64_t now = 0;
+  std::vector<TimerWheel::TimerId> ids;
+  ids.reserve(1000);
+  for (int round = 0; round < 50; ++round) {
+    ids.clear();
+    for (int i = 0; i < 1000; ++i)
+      ids.push_back(w.arm(now + 2000, [] { ADD_FAILURE(); }));
+    for (const auto id : ids) ASSERT_TRUE(w.cancel(id, true));
+    now += 3000;
+    w.advance(now);
+  }
+  EXPECT_EQ(w.live(), 0u);
+  EXPECT_LE(w.node_capacity(), 2048u);
+}
+
+TEST(TimerWheel, CrossThreadCancelMemoryStaysBounded) {
+  // Cross-thread cancels cannot unlink eagerly — lazily reaped nodes must
+  // still be recycled by the consumer's slot passes, not accumulate.
+  TimerWheel w;
+  w.bind_consumer();
+  std::uint64_t now = 0;
+  std::vector<TimerWheel::TimerId> ids;
+  for (int round = 0; round < 50; ++round) {
+    ids.clear();
+    for (int i = 0; i < 500; ++i)
+      ids.push_back(w.arm(now + 2000, [] { ADD_FAILURE(); }));
+    std::thread canceller([&] {
+      for (const auto id : ids) ASSERT_TRUE(w.cancel(id, false));
+    });
+    canceller.join();
+    now += 3000;
+    w.advance(now);  // reaps the cancelled tick
+  }
+  EXPECT_EQ(w.live(), 0u);
+  EXPECT_LE(w.node_capacity(), 2048u);
+}
+
+// Property test: on an identical randomized schedule (with deliberate
+// deadline collisions), the wheel must deliver callbacks in exactly the
+// order SimRuntime's indexed heap does — the Runtime ordering contract
+// (non-decreasing deadline, FIFO among equals) is the shared spec.
+TEST(TimerWheel, OrderingMatchesSimRuntimeOnSameSchedule) {
+  SimRuntime sim;
+  TimerWheel wheel;
+  wheel.bind_consumer();
+  Rng rng(99);
+  std::vector<int> sim_order, wheel_order;
+  std::vector<std::pair<Runtime::TimerId, TimerWheel::TimerId>> ids;
+  constexpr int kN = 5000;
+  for (int i = 0; i < kN; ++i) {
+    // Mix of exact-collision deadlines (multiples of 10 ms) and arbitrary
+    // ones, spanning levels 0-2 of the wheel.
+    const bool collide = (rng.uniform_index(4) == 0);
+    const std::uint64_t deadline =
+        collide ? rng.uniform_index(41) * 10'000
+                : rng.uniform_index(90'000'000);
+    const auto sid =
+        sim.schedule(usecs(static_cast<std::int64_t>(deadline)),
+                     [&sim_order, i] { sim_order.push_back(i); });
+    const auto wid = wheel.arm(deadline, [&wheel_order, i] {
+      wheel_order.push_back(i);
+    });
+    ids.emplace_back(sid, wid);
+  }
+  // Cancel the same random quarter on both sides.
+  for (int i = 0; i < kN; ++i) {
+    if (rng.uniform_index(4) == 0) {
+      EXPECT_EQ(sim.cancel(ids[static_cast<std::size_t>(i)].first),
+                wheel.cancel(ids[static_cast<std::size_t>(i)].second, true));
+    }
+  }
+  sim.run();
+  std::uint64_t now = 0;
+  while (wheel.live() != 0) {
+    now += 500 + rng.uniform_index(1'000'000);
+    wheel.advance(now);
+  }
+  ASSERT_EQ(wheel_order.size(), sim_order.size());
+  EXPECT_EQ(wheel_order, sim_order);
+}
+
+// ---- concurrency storms (meaningful under TSan; see tools/check_all.sh) ----
+
+TEST(TimerWheelConcurrency, MultiProducerStageAndCancelStorm) {
+  TimerWheel w;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> now_us{0};
+  std::atomic<std::uint64_t> fired{0};
+  std::atomic<std::uint64_t> cancelled{0};
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 2000;
+
+  std::thread consumer([&] {
+    w.bind_consumer();
+    while (!stop.load(std::memory_order_acquire) || w.live() != 0 ||
+           w.has_staged()) {
+      w.drain_staged();
+      const std::uint64_t t = now_us.fetch_add(150) + 150;
+      w.advance(t);
+    }
+  });
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      Rng rng(static_cast<std::uint64_t>(p) + 7);
+      std::vector<TimerWheel::TimerId> mine;
+      mine.reserve(kPerProducer);
+      for (int i = 0; i < kPerProducer; ++i) {
+        const std::uint64_t deadline =
+            now_us.load(std::memory_order_relaxed) +
+            rng.uniform_index(20'000);
+        mine.push_back(w.stage(deadline, [&fired] {
+          fired.fetch_add(1, std::memory_order_relaxed);
+        }));
+        // Cancel roughly half, sometimes a stale earlier id (exercising
+        // cancel-after-fire from foreign threads).
+        if (rng.uniform_index(2) == 0) {
+          const auto victim = mine[rng.uniform_index(mine.size())];
+          if (w.cancel(victim, false))
+            cancelled.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  stop.store(true, std::memory_order_release);
+  consumer.join();
+
+  EXPECT_EQ(fired.load() + cancelled.load(),
+            static_cast<std::uint64_t>(kProducers) * kPerProducer);
+  EXPECT_EQ(w.live(), 0u);
+  EXPECT_FALSE(w.has_staged());
+}
+
+TEST(TimerWheelConcurrency, ProducersRaceConsumerTeardown) {
+  // Producers keep staging while the consumer stops draining and the wheel
+  // is destroyed: staged-but-never-drained Tasks must be released by the
+  // destructor (ASan-visible if not) and nothing may crash.
+  for (int iter = 0; iter < 20; ++iter) {
+    std::atomic<bool> go{false};
+    std::atomic<int> staged{0};
+    {
+      TimerWheel w;
+      w.bind_consumer();
+      std::vector<std::thread> producers;
+      for (int p = 0; p < 3; ++p) {
+        producers.emplace_back([&] {
+          while (!go.load(std::memory_order_acquire)) {}
+          for (int i = 0; i < 200; ++i) {
+            w.stage(1'000'000, [] {});
+            staged.fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+      }
+      go.store(true, std::memory_order_release);
+      w.drain_staged();  // races the producers on purpose
+      for (auto& t : producers) t.join();
+    }  // destructor runs with live staged/linked nodes
+    EXPECT_EQ(staged.load(), 600);
+  }
+}
+
+}  // namespace
+}  // namespace ilu
