@@ -19,7 +19,7 @@
 // cluster_scaling:{shards,
 // completed, wall_s_serial, wall_s_sharded, speedup, equivalent},
 // fig4_sweep:{cells, threads, wall_s_1thread, wall_s_nthreads, speedup},
-// lint:{files, findings, wall_s}, obs:{recorder_ns_per_event,
+// lint:{files, findings, wall_s, checks}, obs:{recorder_ns_per_event,
 // recorder_disabled_ns_per_event, hist_ns_per_record}}]}.
 // Fields are only ever added, never renamed, so downstream tooling can diff
 // runs across PRs. Note: on a 1-core CI host cluster_scaling.speedup < 1 by
@@ -913,6 +913,11 @@ int main(int argc, char** argv) {
   lint_rec["files"] = static_cast<std::uint64_t>(lt.files);
   lint_rec["findings"] = static_cast<std::uint64_t>(lt.findings);
   lint_rec["wall_s"] = lt.wall_s;
+  JsonArray lint_checks;
+  for (const auto& c : lint::checks()) {
+    lint_checks.emplace_back(std::string(c.name));
+  }
+  lint_rec["checks"] = lint_checks;
   run["lint"] = lint_rec;
   JsonObject obs;
   obs["recorder_ns_per_event"] = ob.recorder_ns_per_event;

@@ -7,7 +7,7 @@
 
 #include "common/types.hpp"
 #include "containers/backend.hpp"
-#include "core/cpu_model.hpp"
+#include "containers/cpu_model.hpp"
 #include "keepalive/policy.hpp"
 #include "keepalive/pool.hpp"
 #include "runtime/latency.hpp"

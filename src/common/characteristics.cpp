@@ -1,4 +1,4 @@
-#include "core/characteristics.hpp"
+#include "common/characteristics.hpp"
 
 #include <cassert>
 

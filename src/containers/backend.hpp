@@ -5,7 +5,7 @@
 #include <unordered_set>
 
 #include "common/types.hpp"
-#include "core/cpu_model.hpp"
+#include "containers/cpu_model.hpp"
 #include "runtime/latency.hpp"
 #include "runtime/runtime.hpp"
 

@@ -10,8 +10,8 @@
 #include "common/types.hpp"
 #include "containers/backend.hpp"
 #include "containers/netns_pool.hpp"
-#include "core/characteristics.hpp"
-#include "core/cpu_model.hpp"
+#include "common/characteristics.hpp"
+#include "containers/cpu_model.hpp"
 #include "core/span_tracer.hpp"
 #include "keepalive/pool.hpp"
 #include "obs/metrics.hpp"

@@ -1,0 +1,28 @@
+#include "exp/keepalive_sweep.hpp"
+
+#include <functional>
+
+#include "exp/sweep.hpp"
+
+namespace ilu {
+
+std::vector<KeepAliveSimResult> sweep_cache_sizes(
+    const Trace& trace, const std::string& policy_name,
+    const std::vector<std::uint64_t>& capacities_mb, unsigned threads) {
+  // Each cell builds its own policy + cache and only reads the shared trace,
+  // so the parallel fan-out is deterministic and result order is capacity
+  // order whatever the thread count.
+  std::vector<std::function<KeepAliveSimResult()>> tasks;
+  tasks.reserve(capacities_mb.size());
+  for (auto mb : capacities_mb) {
+    tasks.emplace_back(
+        // ilu-lint: allow(const-ref-capture) - runner.run() joins before this scope exits
+        [&trace, &policy_name, mb] {
+          return run_keepalive_sim(trace, policy_name, mb);
+        });
+  }
+  exp::SweepRunner runner({.threads = threads});
+  return runner.run(tasks);
+}
+
+}  // namespace ilu

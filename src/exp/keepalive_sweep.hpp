@@ -1,0 +1,22 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "keepalive/simulator.hpp"
+
+/// Cache-size sweeps of the keep-alive simulator (the curves of the paper's
+/// Figs 4 and 5). Lives in exp/ — not keepalive/ — because the fan-out rides
+/// on exp::SweepRunner and the layer DAG points keepalive → exp, never back.
+namespace ilu {
+
+/// Sweep of cache sizes for one policy (one curve of Fig 4/5). Each cell is
+/// an independent simulation; `threads` > 1 fans them across cores via the
+/// exp::SweepRunner with results in capacity order regardless of thread
+/// count (0 = hardware concurrency, 1 = sequential).
+std::vector<KeepAliveSimResult> sweep_cache_sizes(
+    const Trace& trace, const std::string& policy_name,
+    const std::vector<std::uint64_t>& capacities_mb, unsigned threads = 1);
+
+}  // namespace ilu

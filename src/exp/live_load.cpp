@@ -1,4 +1,5 @@
 #include "exp/live_load.hpp"
+// ilu-lint: atomics-floor(relaxed) - counter bumps; completion counts use release to pair with done()'s acquire reads
 
 #include <algorithm>
 #include <chrono>

@@ -1,4 +1,5 @@
 #pragma once
+// ilu-lint: atomics-floor(relaxed) - live counters; done() reads with acquire to pair with the workers' release bumps
 
 #include <atomic>
 #include <cstdint>

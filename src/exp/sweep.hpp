@@ -1,4 +1,5 @@
 #pragma once
+// ilu-lint: atomics-floor(relaxed) - stop_requested_ is a best-effort cancellation hint polled between cells
 
 #include <atomic>
 #include <cstddef>

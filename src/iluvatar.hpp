@@ -35,11 +35,12 @@
 #include "containers/backend.hpp"
 #include "containers/container.hpp"
 #include "containers/netns_pool.hpp"
-#include "core/characteristics.hpp"
-#include "core/cpu_model.hpp"
+#include "common/characteristics.hpp"
+#include "containers/cpu_model.hpp"
 #include "core/span_tracer.hpp"
 #include "core/energy.hpp"
 #include "core/worker.hpp"
+#include "exp/keepalive_sweep.hpp"
 #include "exp/live_load.hpp"
 #include "exp/sweep.hpp"
 #include "keepalive/cache.hpp"

@@ -34,12 +34,4 @@ KeepAliveSimResult run_keepalive_sim_with(const Trace& trace,
                                           std::uint64_t capacity_mb,
                                           bool enable_prewarm = true);
 
-/// Sweep of cache sizes for one policy (one curve of Fig 4/5). Each cell is
-/// an independent simulation; `threads` > 1 fans them across cores via the
-/// exp::SweepRunner with results in capacity order regardless of thread
-/// count (0 = hardware concurrency, 1 = sequential).
-std::vector<KeepAliveSimResult> sweep_cache_sizes(
-    const Trace& trace, const std::string& policy_name,
-    const std::vector<std::uint64_t>& capacities_mb, unsigned threads = 1);
-
 }  // namespace ilu

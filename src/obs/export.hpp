@@ -7,6 +7,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+// ilu-lint: allow(include-layering) - timestamps come through the abstract Runtime clock so obs stays sim-deterministic; runtime/runtime.hpp is the interface header only (no scheduler), accepted inversion pending an obs-owned clock interface
 #include "runtime/runtime.hpp"
 #include "util/json.hpp"
 

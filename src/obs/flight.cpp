@@ -1,4 +1,5 @@
 #include "obs/flight.hpp"
+// ilu-lint: atomics-floor(relaxed) - snapshot reads ride the head_ acquire fence declared in flight.hpp; uid counter is relaxed
 
 #include <algorithm>
 #include <cstdio>

@@ -1,4 +1,5 @@
 #pragma once
+// ilu-lint: atomics-floor(relaxed) - per-ring head_ publishes slots with an explicit release store; slot words are relaxed behind it; enabled_ is a sampling hint
 
 #include <atomic>
 #include <cstddef>

@@ -1,4 +1,5 @@
 #include "obs/metrics.hpp"
+// ilu-lint: atomics-floor(relaxed) - histogram cells are independent monotone counters; min/max CAS loops tolerate stale views
 
 #include <cmath>
 #include <limits>

@@ -1,4 +1,5 @@
 #pragma once
+// ilu-lint: atomics-floor(relaxed) - instruments are monotone counters/last-write gauges scraped by the sampler; per-op ordering buys nothing
 
 #include <atomic>
 #include <bit>

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+// ilu-lint: allow(include-layering) - timestamps come through the abstract Runtime clock so obs stays sim-deterministic; runtime/runtime.hpp is the interface header only (no scheduler), accepted inversion pending an obs-owned clock interface
 #include "runtime/runtime.hpp"
 #include "util/json.hpp"
 

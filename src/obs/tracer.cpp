@@ -1,4 +1,5 @@
 #include "obs/tracer.hpp"
+// ilu-lint: atomics-floor(relaxed) - the tracer uid counter only needs uniqueness
 
 #include <algorithm>
 #include <cstdio>

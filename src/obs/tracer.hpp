@@ -1,4 +1,6 @@
 #pragma once
+// ilu-lint: atomics-floor(relaxed) - id generators and the enabled_ hint are order-free
+// ilu-lint: atomics-floor(acquire: flag_) - SpinLock: test_and_set(acquire)/clear(release) is the lock protocol itself
 
 #include <atomic>
 #include <map>
@@ -10,6 +12,7 @@
 #include <vector>
 
 #include "obs/span.hpp"
+// ilu-lint: allow(include-layering) - timestamps come through the abstract Runtime clock so obs stays sim-deterministic; runtime/runtime.hpp is the interface header only (no scheduler), accepted inversion pending an obs-owned clock interface
 #include "runtime/runtime.hpp"
 #include "util/stats.hpp"
 

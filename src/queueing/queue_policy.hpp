@@ -4,7 +4,7 @@
 #include <string>
 
 #include "common/types.hpp"
-#include "core/characteristics.hpp"
+#include "common/characteristics.hpp"
 #include "runtime/task.hpp"
 
 /// Invocation queue disciplines (§5.2). Priorities are computed from the

@@ -1,4 +1,6 @@
 #include "runtime/real_runtime.hpp"
+// ilu-lint: atomics-floor(relaxed) - stopping_ is a level flag re-checked under cv_mu_; executed_ is a stats counter
+// ilu-lint: atomics-floor(seq_cst: sleeping_) - consumer half of the Dekker sleep handshake: the true-store must totally order against the producer's staged_pushes_ bump
 
 #include <cassert>
 #include <utility>
@@ -93,6 +95,7 @@ void RealRuntime::loop() {
     std::unique_lock<std::mutex> lk(wake_mu_);
     sleeping_.store(true, std::memory_order_seq_cst);
     if (wheel_.has_staged() || stopping_.load(std::memory_order_relaxed)) {
+      // ilu-lint: allow(atomics-discipline) - clearing, not arming: only the true-store races the producer's staged-check; a stale false here at worst costs one notify_one
       sleeping_.store(false, std::memory_order_relaxed);
       continue;
     }
@@ -104,6 +107,7 @@ void RealRuntime::loop() {
                           pred);
     else
       wake_cv_.wait(lk, pred);
+    // ilu-lint: allow(atomics-discipline) - clearing after wake, still under wake_mu_; the Dekker ordering matters only for the true-store above
     sleeping_.store(false, std::memory_order_relaxed);
   }
 }

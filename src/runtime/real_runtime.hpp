@@ -1,4 +1,5 @@
 #pragma once
+// ilu-lint: atomics-floor(relaxed) - executed_ is a monotone stats counter read after join
 
 #include <atomic>
 #include <chrono>

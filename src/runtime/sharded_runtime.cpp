@@ -1,4 +1,6 @@
 #include "runtime/sharded_runtime.hpp"
+// ilu-lint: atomics-floor(relaxed) - horizon_/events_ are per-shard monotone slots; conservative reads only delay GVT
+// ilu-lint: atomics-floor(acquire: gen_) - the barrier generation publishes every shard's pre-barrier writes; its bump is acq_rel, waiters spin on acquire
 
 #include <algorithm>
 #include <cassert>

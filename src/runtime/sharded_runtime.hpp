@@ -1,4 +1,5 @@
 #pragma once
+// ilu-lint: atomics-floor(relaxed) - events_ are per-shard monotone counters, summed after join
 
 #include <atomic>
 #include <cstdint>

@@ -1,4 +1,6 @@
 #pragma once
+// ilu-lint: atomics-floor(relaxed) - node words/freelist publish via explicit release/acquire pairs; seq/live counters and intra-bucket links are relaxed by design (bucket spinlocks order them)
+// ilu-lint: atomics-floor(seq_cst: staged_pushes_) - producer half of the Dekker sleep handshake: must totally order against the consumer's sleeping_ flag
 
 #include <algorithm>
 #include <array>
@@ -119,6 +121,7 @@ class TimerWheel {
     SubmitShard& s = shards_[submit_shard_hint() & (kSubmitShards - 1)];
     {
       std::lock_guard<std::mutex> lk(s.mu);
+      // ilu-lint: allow(blocking-under-lock) - staged is swap-drained every tick, so capacity is retained and push_back amortizes to a store; the shard mutex is striped 8 ways exactly to absorb this
       s.staged.push_back(idx);
     }
     // seq_cst pairs with the consumer's seq_cst sleeping-flag handshake
@@ -359,11 +362,13 @@ class TimerWheel {
     while (cap <= need_index) {
       const std::uint64_t chunk = cap >> kChunkShift;
       if (chunk >= kMaxChunks) {
+        // ilu-lint: allow(blocking-under-lock) - terminal path: the process aborts right after, lock latency is irrelevant
         std::fprintf(stderr,
                      "TimerWheel: node pool exhausted (%zu chunks x %zu)\n",
                      kMaxChunks, kChunkSize);
         std::abort();
       }
+      // ilu-lint: allow(blocking-under-lock) - grow_mu_ exists to serialize exactly this doubling; submitters never take it (they CAS the freelist) and hit it at most log2(peak/4096) times per run
       directory_[chunk].store(new Node[kChunkSize], std::memory_order_release);
       cap += kChunkSize;
       capacity_.store(cap, std::memory_order_release);

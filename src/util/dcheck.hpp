@@ -1,4 +1,5 @@
 #pragma once
+// ilu-lint: atomics-floor(acquire) - owner_ hand-off is a release-store/acquire-load pair; anything weaker loses the happens-before the auditor asserts
 
 #include <cstddef>
 #include <cstdio>

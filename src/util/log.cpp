@@ -1,4 +1,5 @@
 #include "util/log.hpp"
+// ilu-lint: atomics-floor(relaxed) - g_level is an independent severity gate; stale reads drop or admit one line, never corrupt
 
 #include <atomic>
 #include <cstdio>

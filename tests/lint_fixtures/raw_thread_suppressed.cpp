@@ -1,4 +1,5 @@
 // Fixture: a reasoned allow() covering several checks in one annotation.
+// ilu-lint: atomics-floor(seq_cst) - fixture: implicit seq_cst ops only
 #include <atomic>
 
 int fixture_raw_thread_suppressed() {

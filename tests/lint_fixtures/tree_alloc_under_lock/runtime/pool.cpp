@@ -1,0 +1,12 @@
+// Fixture: container growth while a member mutex is held.
+#include <mutex>
+#include <vector>
+
+struct Pool {
+  void add(int v) {
+    std::lock_guard<std::mutex> lk(mu_);
+    items_.push_back(v);
+  }
+  std::mutex mu_;
+  std::vector<int> items_;
+};

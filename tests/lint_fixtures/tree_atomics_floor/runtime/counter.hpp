@@ -1,0 +1,17 @@
+// Fixture: a concurrency-zone file whose declared floor is acquire but
+// whose publish store is relaxed — the store must be flagged.
+// ilu-lint: atomics-floor(acquire) - fixture: publication ordering floor
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+struct PubSlot {
+  std::uint64_t read() const {
+    return head_.load(std::memory_order_acquire);
+  }
+  void publish(std::uint64_t v) {
+    head_.store(v, std::memory_order_relaxed);
+  }
+  std::atomic<std::uint64_t> head_{0};
+};

@@ -1,0 +1,10 @@
+// Fixture: a concurrency-zone file with atomic traffic and no declared
+// floor — one "declare your floor" finding, at the first op.
+#pragma once
+
+#include <atomic>
+
+struct Tally {
+  void bump() { n_.fetch_add(1); }
+  std::atomic<int> n_{0};
+};

@@ -1,0 +1,6 @@
+// Fixture: one side of an include cycle inside core/.
+#pragma once
+
+#include "core/other.hpp"
+
+inline int core_engine_value() { return 1; }

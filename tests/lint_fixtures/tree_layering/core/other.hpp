@@ -1,0 +1,6 @@
+// Fixture: the other side of the include cycle.
+#pragma once
+
+#include "core/engine.hpp"
+
+inline int core_other_value() { return 2; }

@@ -1,0 +1,7 @@
+// Fixture: a layering back-edge — util (layer 0) reaching up into core
+// (layer 5).
+#pragma once
+
+#include "core/engine.hpp"
+
+inline int util_helper() { return core_engine_value(); }

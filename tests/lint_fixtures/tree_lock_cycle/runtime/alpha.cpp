@@ -1,0 +1,17 @@
+// Fixture: half of a cross-TU lock-order inversion. alpha_entry holds the
+// alpha mutex and calls into beta.cpp, which acquires the beta mutex; the
+// other TU does the reverse.
+#include <mutex>
+
+std::mutex g_alpha_mu;
+
+void beta_leaf();
+
+void alpha_entry() {
+  std::lock_guard<std::mutex> lk(g_alpha_mu);
+  beta_leaf();
+}
+
+void alpha_leaf() {
+  std::lock_guard<std::mutex> lk(g_alpha_mu);
+}

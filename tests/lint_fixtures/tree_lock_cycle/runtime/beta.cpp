@@ -1,0 +1,17 @@
+// Fixture: the other half — beta_entry holds the beta mutex and calls back
+// into alpha.cpp, which acquires the alpha mutex. Neither TU alone has a
+// cycle; only the whole-repo lock graph sees both orders.
+#include <mutex>
+
+std::mutex g_beta_mu;
+
+void alpha_leaf();
+
+void beta_entry() {
+  std::lock_guard<std::mutex> lk(g_beta_mu);
+  alpha_leaf();
+}
+
+void beta_leaf() {
+  std::lock_guard<std::mutex> lk(g_beta_mu);
+}

@@ -1,4 +1,4 @@
-#include "core/cpu_model.hpp"
+#include "containers/cpu_model.hpp"
 
 #include <gtest/gtest.h>
 

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "exp/keepalive_sweep.hpp"
 #include "exp/sweep.hpp"
 #include "keepalive/simulator.hpp"
 #include "runtime/sim_runtime.hpp"

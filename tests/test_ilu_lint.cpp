@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "lint/lexer.hpp"
 #include "lint/lint.hpp"
 
 namespace {
@@ -53,7 +54,9 @@ TEST(IluLint, CatalogueListsAllChecks) {
   EXPECT_EQ(names, (std::set<std::string>{
                        "wall-clock", "unordered-iter", "ptr-order",
                        "raw-thread", "std-function-hotpath",
-                       "const-ref-capture", "registry-lookup-hotpath"}));
+                       "const-ref-capture", "registry-lookup-hotpath",
+                       "lock-order", "atomics-discipline",
+                       "blocking-under-lock", "include-layering"}));
 }
 
 // ---- wall-clock ----------------------------------------------------------
@@ -297,6 +300,195 @@ TEST(IluLint, MalformedSuppressionIsItselfAFinding) {
   EXPECT_EQ(count_check(fs, "lint-suppression"), 2);
   EXPECT_GE(count_check(fs, "wall-clock"), 1)
       << "a malformed allow() must not suppress";
+}
+
+// ---- lexer regressions ---------------------------------------------------
+
+TEST(IluLint, LexerDigitSeparatorsAreOneNumber) {
+  auto lr = ilu::lint::lex("int x = 1'024 + 0xff'00;");
+  int numbers = 0;
+  for (const auto& t : lr.tokens) {
+    if (t.kind == ilu::lint::Tok::Number) ++numbers;
+    EXPECT_NE(t.kind, ilu::lint::Tok::CharLit)
+        << "digit separator mis-lexed as char literal: " << t.text;
+  }
+  EXPECT_EQ(numbers, 2);
+}
+
+TEST(IluLint, LexerRawStringsAreOpaque) {
+  auto lr = ilu::lint::lex(
+      "const char* s = R\"(std::chrono::steady_clock::now())\";\n"
+      "int after = 1;\n");
+  for (const auto& t : lr.tokens) {
+    EXPECT_NE(t.text, "chrono") << "raw string contents leaked as tokens";
+  }
+  // `after` must still be seen, on the right line.
+  bool saw_after = false;
+  for (const auto& t : lr.tokens) {
+    if (t.text == "after") {
+      saw_after = true;
+      EXPECT_EQ(t.line, 2);
+    }
+  }
+  EXPECT_TRUE(saw_after);
+}
+
+TEST(IluLint, LexerRawStringInsideDirectiveDoesNotLeak) {
+  auto lr = ilu::lint::lex(
+      "#define SQL R\"(select \"x\" from t)\"\n"
+      "int live = 3;\n");
+  for (const auto& t : lr.tokens) {
+    EXPECT_NE(t.text, "select") << "directive raw string leaked";
+    EXPECT_NE(t.text, "from") << "directive raw string leaked";
+  }
+  ASSERT_EQ(lr.tokens.size(), 5u);  // int live = 3 ;
+  EXPECT_EQ(lr.tokens[1].text, "live");
+  EXPECT_EQ(lr.tokens[1].line, 2);
+}
+
+TEST(IluLint, LexerSplicedStringKeepsLineNumbers) {
+  auto lr = ilu::lint::lex(
+      "const char* s = \"a\\\n"
+      "b\";\n"
+      "int third = 1;\n");
+  for (const auto& t : lr.tokens) {
+    if (t.text == "third") EXPECT_EQ(t.line, 3);
+  }
+}
+
+// ---- cross-TU fixture trees ----------------------------------------------
+
+/// Load `names` out of tests/lint_fixtures/<tree>/, lint them as one batch.
+std::vector<Finding> lint_tree_fixture(const std::string& tree,
+                                       const std::vector<std::string>& names) {
+  std::vector<ilu::lint::FileInput> ins;
+  for (const auto& n : names) {
+    ilu::lint::FileInput in;
+    in.rel_path = n;
+    in.content = read_fixture(tree + "/" + n);
+    ins.push_back(std::move(in));
+  }
+  return ilu::lint::lint_inputs(ins);
+}
+
+TEST(IluLint, LockOrderCycleAcrossTwoTUs) {
+  const std::vector<std::string> files = {"runtime/alpha.cpp",
+                                          "runtime/beta.cpp"};
+  auto fs = lint_tree_fixture("tree_lock_cycle", files);
+  ASSERT_EQ(count_check(fs, "lock-order"), 1) << "one inversion, one finding";
+  const Finding& f = fs.front();
+  EXPECT_EQ(f.check, "lock-order");
+  // Both witness paths are printed, naming each acquisition site.
+  EXPECT_NE(f.message.find("runtime/alpha.cpp::g_alpha_mu"),
+            std::string::npos);
+  EXPECT_NE(f.message.find("runtime/beta.cpp::g_beta_mu"),
+            std::string::npos);
+  EXPECT_NE(f.message.find("beta_leaf"), std::string::npos);
+  EXPECT_NE(f.message.find("alpha_leaf"), std::string::npos);
+  // Deterministic: same inputs, byte-identical output — in both orders.
+  auto again = lint_tree_fixture("tree_lock_cycle", files);
+  ASSERT_EQ(again.size(), fs.size());
+  EXPECT_EQ(again.front().message, f.message);
+  EXPECT_EQ(again.front().path, f.path);
+  EXPECT_EQ(again.front().line, f.line);
+  auto reversed = lint_tree_fixture(
+      "tree_lock_cycle", {"runtime/beta.cpp", "runtime/alpha.cpp"});
+  ASSERT_EQ(reversed.size(), fs.size());
+  EXPECT_EQ(reversed.front().message, f.message)
+      << "witness must not depend on input order";
+}
+
+TEST(IluLint, LockOrderSingleTUSeesNoCycle) {
+  // --file-mode degradation: either TU alone holds only one order.
+  for (const char* one : {"runtime/alpha.cpp", "runtime/beta.cpp"}) {
+    auto fs = lint_tree_fixture("tree_lock_cycle", {one});
+    EXPECT_EQ(count_check(fs, "lock-order"), 0) << one;
+  }
+}
+
+TEST(IluLint, LayeringBackEdgeAndCycle) {
+  auto fs = lint_tree_fixture(
+      "tree_layering",
+      {"util/helper.hpp", "core/engine.hpp", "core/other.hpp"});
+  ASSERT_EQ(count_check(fs, "include-layering"), 2);
+  // Sorted by path: the core/ include cycle first, then the util/ back-edge.
+  EXPECT_EQ(fs[0].path, "core/engine.hpp");
+  EXPECT_NE(fs[0].message.find("include cycle"), std::string::npos);
+  EXPECT_NE(fs[0].message.find("core/engine.hpp"), std::string::npos);
+  EXPECT_NE(fs[0].message.find("core/other.hpp"), std::string::npos);
+  EXPECT_EQ(fs[1].path, "util/helper.hpp");
+  EXPECT_EQ(fs[1].line, 5);
+  EXPECT_NE(fs[1].message.find("back-edge"), std::string::npos);
+}
+
+TEST(IluLint, AtomicsFloorViolationAndMissingFloor) {
+  auto fs = lint_tree_fixture(
+      "tree_atomics_floor", {"runtime/counter.hpp", "runtime/nofloor.hpp"});
+  ASSERT_EQ(count_check(fs, "atomics-discipline"), 2);
+  EXPECT_EQ(fs[0].path, "runtime/counter.hpp");
+  EXPECT_EQ(fs[0].line, 14);
+  EXPECT_NE(fs[0].message.find("memory_order_relaxed"), std::string::npos);
+  EXPECT_NE(fs[0].message.find("below this file's declared atomics floor"),
+            std::string::npos);
+  EXPECT_EQ(fs[1].path, "runtime/nofloor.hpp");
+  EXPECT_NE(fs[1].message.find("declares no ordering floor"),
+            std::string::npos);
+}
+
+TEST(IluLint, AtomicsImplicitOpsPassTheFloor) {
+  // Implicit operations are seq_cst — never below any floor. The acquire
+  // load in counter.hpp also passes its own floor.
+  ilu::lint::FileInput in;
+  in.rel_path = "runtime/fixture.hpp";
+  in.content =
+      "// ilu-lint: atomics-floor(seq_cst) - fixture\n"
+      "#include <atomic>\n"
+      "std::atomic<int> g_n{0};\n"
+      "int f() { return g_n.fetch_add(1) + g_n.load(); }\n";
+  EXPECT_TRUE(lint_file(in).empty());
+}
+
+TEST(IluLint, AtomicsOutsideZoneWithoutPragmaFires) {
+  ilu::lint::FileInput in;
+  in.rel_path = "core/fixture.cpp";
+  in.content =
+      "#include <atomic>\n"
+      "std::atomic<int> g_n{0};\n"
+      "int f() { return g_n.load(); }\n";
+  auto fs = lint_file(in);
+  EXPECT_EQ(count_check(fs, "atomics-discipline"), 1);
+  for (const auto& f : fs) {
+    if (f.check != "atomics-discipline") continue;
+    EXPECT_NE(f.message.find("outside the concurrency zone"),
+              std::string::npos);
+  }
+}
+
+TEST(IluLint, BlockingUnderLockFires) {
+  auto fs = lint_tree_fixture("tree_alloc_under_lock", {"runtime/pool.cpp"});
+  ASSERT_EQ(count_check(fs, "blocking-under-lock"), 1);
+  const Finding& f = fs.front();
+  EXPECT_EQ(f.line, 8);
+  EXPECT_NE(f.message.find("push_back"), std::string::npos);
+  EXPECT_NE(f.message.find("Pool::mu_"), std::string::npos);
+}
+
+TEST(IluLint, BlockingUnderLockHonorsSuppression) {
+  ilu::lint::FileInput in;
+  in.rel_path = "runtime/fixture.cpp";
+  in.content =
+      "#include <mutex>\n"
+      "#include <vector>\n"
+      "struct P {\n"
+      "  void add(int v) {\n"
+      "    std::lock_guard<std::mutex> lk(mu_);\n"
+      "    // ilu-lint: allow(blocking-under-lock) - bounded, drained each tick\n"
+      "    items_.push_back(v);\n"
+      "  }\n"
+      "  std::mutex mu_;\n"
+      "  std::vector<int> items_;\n"
+      "};\n";
+  EXPECT_TRUE(lint_file(in).empty());
 }
 
 // ---- whole tree ----------------------------------------------------------

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "exp/keepalive_sweep.hpp"
 #include "trace/azure.hpp"
 #include "trace/function_profile.hpp"
 #include "trace/loadgen.hpp"

@@ -8,7 +8,7 @@
 #include <list>
 #include <map>
 
-#include "core/cpu_model.hpp"
+#include "containers/cpu_model.hpp"
 #include "keepalive/cache.hpp"
 #include "keepalive/pool.hpp"
 #include "queueing/invocation_queue.hpp"

@@ -1,5 +1,6 @@
 #!/bin/sh
-# Full correctness matrix (DESIGN.md §10): lint, warnings-as-errors, the
+# Full correctness matrix (DESIGN.md §10/§15): a fail-fast lint-strict tier
+# (whole-repo ilu-lint with SARIF output), then warnings-as-errors, the
 # ownership auditor, and every sanitizer preset, each over the whole test
 # suite. CI entry point; expect ~10-20 minutes on a laptop.
 #
@@ -27,6 +28,28 @@ run_config() {
 }
 
 mkdir -p "$root"
+
+# 0. lint-strict: the whole-repo analyzer on its own, before any compile —
+#    cross-TU lock-order/atomics/blocking/layering findings fail fast
+#    (seconds, not minutes), and the SARIF lands where CI annotators look.
+lint_strict() {
+    dir="$root/lint-strict"
+    echo "==> [lint-strict] build ilu-lint"
+    cmake -B "$dir" -S "$repo" >"$dir.cmake.log" 2>&1 || {
+        cat "$dir.cmake.log"; exit 1; }
+    cmake --build "$dir" -j "$jobs" --target ilu_lint >"$dir.build.log" 2>&1 || {
+        tail -50 "$dir.build.log"; exit 1; }
+    echo "==> [lint-strict] ilu-lint --sarif (+ lock-order graph)"
+    "$dir/tools/ilu_lint" --root "$repo" --sarif \
+        --dot "$dir/lock_order.dot" >"$dir/lint.sarif" || {
+        # Re-run in text mode so the failure is readable in the CI log.
+        "$dir/tools/ilu_lint" --root "$repo" || true
+        echo "==> [lint-strict] findings (SARIF at $dir/lint.sarif)"
+        exit 1
+    }
+    echo "==> [lint-strict] clean (SARIF at $dir/lint.sarif)"
+}
+lint_strict
 
 # 1. Baseline RelWithDebInfo with -Werror: the tree must be warning-clean.
 #    This build also runs ilu_lint (a default-label ctest test) and the

@@ -1,7 +1,9 @@
 #!/bin/sh
 # Install the repo's git hooks. Currently: a pre-commit hook that runs
-# ilu-lint (tools/lint) over the staged .cpp/.hpp files, so determinism-rule
-# violations are caught before they reach CI's `ilu_lint` ctest run.
+# ilu-lint (tools/lint) over the staged .cpp/.hpp files — as one batch, so
+# the cross-TU checks (lock-order, include-layering, ...) see every staged
+# file at once — catching determinism-rule violations before they reach
+# CI's `ilu_lint` ctest run and the check_all.sh lint-strict tier.
 #
 # Usage: tools/install_hooks.sh   (from anywhere inside the repo)
 #

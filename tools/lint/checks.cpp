@@ -1,65 +1,20 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <string_view>
 
+#include "lint/cross_checks.hpp"
 #include "lint/lexer.hpp"
 #include "lint/lint.hpp"
+#include "lint/model.hpp"
+#include "lint/support.hpp"
 
 namespace ilu::lint {
 
 namespace {
-
-using Tokens = std::vector<Token>;
-using NameSet = std::set<std::string, std::less<>>;
-
-bool is_id(const Token& t, std::string_view s) {
-  return t.kind == Tok::Identifier && t.text == s;
-}
-bool is_punct(const Token& t, std::string_view s) {
-  return t.kind == Tok::Punct && t.text == s;
-}
-
-bool starts_with(std::string_view s, std::string_view prefix) {
-  return s.substr(0, prefix.size()) == prefix;
-}
-bool ends_with(std::string_view s, std::string_view suffix) {
-  return s.size() >= suffix.size() &&
-         s.substr(s.size() - suffix.size()) == suffix;
-}
-
-template <std::size_t N>
-bool in_any(std::string_view rel, const std::string_view (&prefixes)[N]) {
-  for (std::string_view p : prefixes) {
-    if (starts_with(rel, p)) return true;
-  }
-  return false;
-}
-
-/// Preceded by `std ::` — the qualification every flagged std name needs so
-/// that user types that merely share the name stay un-flagged.
-bool std_qualified(const Tokens& ts, std::size_t i) {
-  return i >= 2 && is_punct(ts[i - 1], "::") && is_id(ts[i - 2], "std");
-}
-
-/// From ts[i] == "<", return the index one past the matching ">", or
-/// ts.size() when unbalanced. Single-char puncts mean `>>` arrives as two
-/// tokens, so nested template argument lists balance naturally.
-std::size_t skip_template_args(const Tokens& ts, std::size_t i) {
-  int depth = 0;
-  for (; i < ts.size(); ++i) {
-    if (is_punct(ts[i], "<")) {
-      ++depth;
-    } else if (is_punct(ts[i], ">")) {
-      if (--depth == 0) return i + 1;
-    } else if (is_punct(ts[i], ";") || is_punct(ts[i], "{")) {
-      return ts.size();  // not actually a template argument list
-    }
-  }
-  return ts.size();
-}
 
 // ---------------------------------------------------------------------------
 // wall-clock
@@ -598,24 +553,8 @@ void check_registry_lookup_hotpath(const Tokens& ts, const std::string& rel,
 }
 
 // ---------------------------------------------------------------------------
-// Suppressions
+// Directives (suppressions + pragmas)
 // ---------------------------------------------------------------------------
-
-struct Suppression {
-  int applies_to_line = 0;
-  NameSet checks;
-};
-
-std::string_view trim(std::string_view s) {
-  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
-    s.remove_prefix(1);
-  }
-  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
-                        s.back() == '\r')) {
-    s.remove_suffix(1);
-  }
-  return s;
-}
 
 bool known_check(std::string_view name) {
   for (const CheckInfo& c : checks()) {
@@ -624,11 +563,35 @@ bool known_check(std::string_view name) {
   return false;
 }
 
-/// Parse `ilu-lint: allow(a,b) - reason` out of a comment. Appends either a
-/// Suppression or a `lint-suppression` finding for malformed annotations.
-void parse_suppression(const Comment& c, const std::string& rel,
-                       std::vector<Suppression>& sups,
-                       std::vector<Finding>& out) {
+/// `reason` is the text after the closing `)`: mandatory, introduced by
+/// ` - `, ` — `, or `: `. Returns the trimmed reason ("" when absent).
+std::string_view parse_reason(std::string_view rest) {
+  std::string_view reason = trim(rest);
+  if (starts_with(reason, "\xe2\x80\x94")) {  // em dash
+    return trim(reason.substr(3));
+  }
+  if (!reason.empty() && (reason.front() == '-' || reason.front() == ':')) {
+    return trim(reason.substr(1));
+  }
+  return {};
+}
+
+}  // namespace
+
+int order_rank(std::string_view name) {
+  if (starts_with(name, "memory_order_")) name = name.substr(13);
+  if (name == "relaxed") return 0;
+  if (name == "consume") return 1;
+  if (name == "acquire" || name == "release") return 2;
+  if (name == "acq_rel") return 3;
+  if (name == "seq_cst") return 4;
+  return -1;
+}
+
+void parse_directive(const Comment& c, const std::string& rel,
+                     std::vector<Suppression>& sups,
+                     std::vector<FloorPragma>& floors,
+                     std::vector<Finding>& out) {
   std::size_t pos = c.text.find("ilu-lint");
   if (pos == std::string_view::npos) return;
   auto malformed = [&](const std::string& why) {
@@ -641,8 +604,49 @@ void parse_suppression(const Comment& c, const std::string& rel,
     return malformed("expected `ilu-lint: allow(<check>) - <reason>`");
   }
   rest = trim(rest.substr(1));
+  if (starts_with(rest, "atomics-floor")) {
+    rest = trim(rest.substr(13));
+    if (rest.empty() || rest.front() != '(') {
+      return malformed("expected `(` after atomics-floor");
+    }
+    std::size_t close = rest.find(')');
+    if (close == std::string_view::npos) {
+      return malformed("unterminated atomics-floor(");
+    }
+    std::string_view body = rest.substr(1, close - 1);
+    FloorPragma p;
+    p.line = c.line;
+    std::size_t colon = body.find(':');
+    std::string_view order = trim(body.substr(0, colon));
+    p.rank = order_rank(order);
+    if (p.rank < 0) {
+      return malformed("unknown memory order `" + std::string(order) +
+                       "` in atomics-floor()");
+    }
+    if (colon != std::string_view::npos) {
+      std::string_view list = body.substr(colon + 1);
+      while (!list.empty()) {
+        std::size_t comma = list.find(',');
+        std::string_view v = trim(list.substr(0, comma));
+        if (v.empty()) return malformed("empty variable in atomics-floor()");
+        p.vars.emplace_back(v);
+        list = comma == std::string_view::npos ? std::string_view{}
+                                               : list.substr(comma + 1);
+      }
+      if (p.vars.empty()) {
+        return malformed("empty variable list in atomics-floor()");
+      }
+    }
+    if (parse_reason(rest.substr(close + 1)).empty()) {
+      return malformed(
+          "a reason is required: `atomics-floor(<order>) - <why>`");
+    }
+    floors.push_back(std::move(p));
+    return;
+  }
   if (!starts_with(rest, "allow")) {
-    return malformed("only the `allow(...)` directive exists");
+    return malformed(
+        "only the `allow(...)` and `atomics-floor(...)` directives exist");
   }
   rest = trim(rest.substr(5));
   if (rest.empty() || rest.front() != '(') {
@@ -667,24 +671,12 @@ void parse_suppression(const Comment& c, const std::string& rel,
                                            : list.substr(comma + 1);
   }
   if (s.checks.empty()) return malformed("empty allow() list");
-  // A reason is mandatory: ` - why this is safe`, ` — why`, or `: why`.
-  std::string_view reason = trim(rest.substr(close + 1));
-  if (starts_with(reason, "\xe2\x80\x94")) {  // em dash
-    reason = trim(reason.substr(3));
-  } else if (!reason.empty() && (reason.front() == '-' ||
-                                 reason.front() == ':')) {
-    reason = trim(reason.substr(1));
-  } else {
-    reason = {};
-  }
-  if (reason.empty()) {
+  if (parse_reason(rest.substr(close + 1)).empty()) {
     return malformed(
         "a reason is required: `allow(<check>) - <why this is safe>`");
   }
   sups.push_back(std::move(s));
 }
-
-}  // namespace
 
 const std::vector<CheckInfo>& checks() {
   static const std::vector<CheckInfo> kChecks = {
@@ -713,23 +705,40 @@ const std::vector<CheckInfo>& checks() {
        "no MetricsRegistry::counter/gauge/histogram/log_histogram "
        "name lookups inside lambda bodies (event callbacks) — resolve "
        "instruments at wiring time; exempt obs/, exp/"},
+      {"lock-order",
+       "no two locks acquired in both orders anywhere in src/ (cycle "
+       "detection over the whole-repo lock acquisition graph, through "
+       "calls); findings print both witness paths"},
+      {"atomics-discipline",
+       "std::atomic loads/stores/RMWs only inside the concurrency zone "
+       "(runtime/, obs/flight.*, util/dcheck.*) or in files declaring a "
+       "`// ilu-lint: atomics-floor(<order>[: var,...]) - <reason>` pragma; "
+       "explicit memory_order arguments below the declared floor are "
+       "findings"},
+      {"blocking-under-lock",
+       "no allocation (new/make_unique/make_shared), container growth, "
+       "I/O, or MetricsRegistry name lookup while a lock is held; exempt "
+       "obs/, exp/, util/ (locks there exist to serialize that work)"},
+      {"include-layering",
+       "project includes must follow util → common → obs/metrics → "
+       "trace/runtime → containers/keepalive/queueing → core/lb/baseline "
+       "→ exp; back-edges and include cycles are findings"},
   };
   return kChecks;
 }
 
-std::vector<Finding> lint_file(const FileInput& in) {
-  LexResult lr = lex(in.content);
-  const Tokens& ts = lr.tokens;
+namespace {
 
+/// The seven per-file token checks, unchanged from ilu-lint v1.
+void run_per_file_checks(const LexResult& lr, const FileInput& in,
+                         std::vector<Finding>& raw) {
+  const Tokens& ts = lr.tokens;
   NameSet unordered_vars;
   collect_unordered_decls(ts, unordered_vars);
-  LexResult paired;
   if (!in.paired_header.empty()) {
-    paired = lex(in.paired_header);
+    LexResult paired = lex(in.paired_header);
     collect_unordered_decls(paired.tokens, unordered_vars);
   }
-
-  std::vector<Finding> raw;
   check_wall_clock(ts, in.rel_path, raw);
   check_unordered_iter(ts, in.rel_path, unordered_vars, raw);
   check_ptr_order(ts, in.rel_path, raw);
@@ -737,32 +746,60 @@ std::vector<Finding> lint_file(const FileInput& in) {
   check_std_function_hotpath(ts, in.rel_path, raw);
   check_const_ref_capture(ts, in.rel_path, raw);
   check_registry_lookup_hotpath(ts, in.rel_path, raw);
+}
 
-  std::vector<Suppression> sups;
-  std::vector<Finding> out;
-  for (const Comment& c : lr.comments) {
-    parse_suppression(c, in.rel_path, sups, out);
+}  // namespace
+
+std::vector<Finding> lint_inputs(const std::vector<FileInput>& ins) {
+  std::vector<Finding> out;  // malformed directives: unsuppressible
+  std::vector<Finding> raw;
+  std::vector<FileModel> models;
+  std::map<std::string, std::vector<Suppression>> sups_by_path;
+  models.reserve(ins.size());
+  for (const FileInput& in : ins) {
+    LexResult lr = lex(in.content);
+    run_per_file_checks(lr, in, raw);
+    std::vector<Suppression> sups;
+    std::vector<FloorPragma> floors;
+    for (const Comment& c : lr.comments) {
+      parse_directive(c, in.rel_path, sups, floors, out);
+    }
+    FileModel fm = extract_file(in, lr, out);
+    fm.floors = std::move(floors);
+    fm.suppressions = sups;
+    sups_by_path[in.rel_path] = std::move(sups);
+    models.push_back(std::move(fm));
   }
+
+  RepoModel model = build_repo_model(std::move(models));
+  run_cross_checks(model, raw);
 
   for (Finding& f : raw) {
     bool suppressed = false;
-    for (const Suppression& s : sups) {
-      if (s.applies_to_line == f.line && s.checks.count(f.check) > 0) {
-        suppressed = true;
-        break;
+    auto it = sups_by_path.find(f.path);
+    if (it != sups_by_path.end()) {
+      for (const Suppression& s : it->second) {
+        if (s.applies_to_line == f.line && s.checks.count(f.check) > 0) {
+          suppressed = true;
+          break;
+        }
       }
     }
     if (!suppressed) out.push_back(std::move(f));
   }
   std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    if (a.path != b.path) return a.path < b.path;
     if (a.line != b.line) return a.line < b.line;
     return a.check < b.check;
   });
   return out;
 }
 
-std::vector<Finding> lint_tree(const std::string& src_root,
-                               std::size_t* files_scanned) {
+std::vector<Finding> lint_file(const FileInput& in) {
+  return lint_inputs({in});
+}
+
+std::vector<FileInput> load_tree(const std::string& src_root) {
   namespace fs = std::filesystem;
   std::vector<fs::path> files;
   for (const auto& e : fs::recursive_directory_iterator(src_root)) {
@@ -782,28 +819,40 @@ std::vector<Finding> lint_tree(const std::string& src_root,
     return ss.str();
   };
 
-  std::vector<Finding> out;
+  std::vector<FileInput> out;
+  out.reserve(files.size());
   for (const fs::path& p : files) {
     FileInput in;
-    in.rel_path =
-        p.lexically_relative(src_root).generic_string();
+    in.rel_path = p.lexically_relative(src_root).generic_string();
     in.content = slurp(p);
     if (p.extension() == ".cpp" || p.extension() == ".cc") {
       fs::path header = p;
       header.replace_extension(".hpp");
       if (fs::exists(header)) in.paired_header = slurp(header);
     }
-    std::vector<Finding> fs_ = lint_file(in);
-    out.insert(out.end(), std::make_move_iterator(fs_.begin()),
-               std::make_move_iterator(fs_.end()));
+    out.push_back(std::move(in));
   }
-  if (files_scanned != nullptr) *files_scanned = files.size();
-  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
-    if (a.path != b.path) return a.path < b.path;
-    if (a.line != b.line) return a.line < b.line;
-    return a.check < b.check;
-  });
   return out;
+}
+
+std::vector<Finding> lint_tree(const std::string& src_root,
+                               std::size_t* files_scanned) {
+  std::vector<FileInput> ins = load_tree(src_root);
+  if (files_scanned != nullptr) *files_scanned = ins.size();
+  return lint_inputs(ins);
+}
+
+std::string lock_order_dot(const std::vector<FileInput>& ins) {
+  std::vector<FileModel> models;
+  std::vector<Finding> sink;
+  models.reserve(ins.size());
+  for (const FileInput& in : ins) {
+    LexResult lr = lex(in.content);
+    models.push_back(extract_file(in, lr, sink));
+  }
+  RepoModel model = build_repo_model(std::move(models));
+  Digraph g = build_lock_graph(model, nullptr);
+  return g.dot("ilu-lock-order");
 }
 
 }  // namespace ilu::lint

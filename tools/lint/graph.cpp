@@ -1,0 +1,147 @@
+#include "lint/graph.hpp"
+
+#include <deque>
+#include <set>
+#include <sstream>
+
+namespace ilu::lint {
+
+void Digraph::add_node(const std::string& n) { adj_[n]; }
+
+void Digraph::add_edge(const std::string& from, const std::string& to,
+                       const std::string& label) {
+  adj_[to];
+  adj_[from].emplace(to, label);  // emplace: first label wins
+}
+
+bool Digraph::has_edge(const std::string& from, const std::string& to) const {
+  auto it = adj_.find(from);
+  return it != adj_.end() && it->second.count(to) > 0;
+}
+
+const std::string* Digraph::edge_label(const std::string& from,
+                                       const std::string& to) const {
+  auto it = adj_.find(from);
+  if (it == adj_.end()) return nullptr;
+  auto jt = it->second.find(to);
+  return jt == it->second.end() ? nullptr : &jt->second;
+}
+
+std::vector<std::string> Digraph::nodes() const {
+  std::vector<std::string> out;
+  out.reserve(adj_.size());
+  for (const auto& [n, _] : adj_) out.push_back(n);
+  return out;
+}
+
+std::vector<std::string> Digraph::path(const std::string& from,
+                                       const std::string& to) const {
+  if (adj_.count(from) == 0 || adj_.count(to) == 0) return {};
+  if (from == to) return {from};
+  // BFS over sorted adjacency: the first time a node is reached fixes its
+  // parent, and since frontiers expand in lexicographic order the resulting
+  // shortest path is canonical.
+  std::map<std::string, std::string> parent;
+  std::deque<std::string> q{from};
+  parent[from] = from;
+  while (!q.empty()) {
+    std::string n = q.front();
+    q.pop_front();
+    auto it = adj_.find(n);
+    if (it == adj_.end()) continue;
+    for (const auto& [m, _] : it->second) {
+      if (parent.count(m) > 0) continue;
+      parent[m] = n;
+      if (m == to) {
+        std::vector<std::string> rev{to};
+        for (std::string c = to; c != from;) {
+          c = parent[c];
+          rev.push_back(c);
+        }
+        return {rev.rbegin(), rev.rend()};
+      }
+      q.push_back(m);
+    }
+  }
+  return {};
+}
+
+std::vector<std::string> Digraph::reach_from(const std::string& n) const {
+  std::set<std::string> seen;
+  std::deque<std::string> q;
+  auto it = adj_.find(n);
+  if (it == adj_.end()) return {};
+  for (const auto& [m, _] : it->second) {
+    if (seen.insert(m).second) q.push_back(m);
+  }
+  while (!q.empty()) {
+    std::string c = q.front();
+    q.pop_front();
+    auto jt = adj_.find(c);
+    if (jt == adj_.end()) continue;
+    for (const auto& [m, _] : jt->second) {
+      if (seen.insert(m).second) q.push_back(m);
+    }
+  }
+  return {seen.begin(), seen.end()};
+}
+
+std::vector<std::pair<std::string, std::string>>
+Digraph::mutually_reachable_pairs() const {
+  std::map<std::string, std::set<std::string>> reach;
+  for (const auto& [n, _] : adj_) {
+    auto r = reach_from(n);
+    reach[n] = std::set<std::string>(r.begin(), r.end());
+  }
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto& [a, ra] : reach) {
+    for (const std::string& b : ra) {
+      if (a < b && reach[b].count(a) > 0) out.emplace_back(a, b);
+    }
+  }
+  return out;  // map iteration keeps this sorted
+}
+
+std::vector<std::vector<std::string>> Digraph::cycles() const {
+  std::vector<std::vector<std::string>> out;
+  std::set<std::string> claimed;  // nodes already reported in some cycle
+  for (const auto& [n, edges] : adj_) {
+    if (claimed.count(n) > 0) continue;
+    bool self = edges.count(n) > 0;
+    std::vector<std::string> back;
+    if (!self) {
+      // Find the shortest way back to n from any successor.
+      for (const auto& [m, _] : edges) {
+        auto p = path(m, n);
+        if (!p.empty() && (back.empty() || p.size() < back.size())) back = p;
+      }
+      if (back.empty()) continue;
+    }
+    std::vector<std::string> cyc{n};
+    for (const std::string& m : back) cyc.push_back(m);
+    if (self) cyc.push_back(n);
+    for (const std::string& m : cyc) claimed.insert(m);
+    out.push_back(std::move(cyc));
+  }
+  return out;
+}
+
+std::string Digraph::dot(const std::string& name) const {
+  std::ostringstream os;
+  os << "digraph \"" << name << "\" {\n";
+  os << "  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n";
+  for (const auto& [n, _] : adj_) {
+    os << "  \"" << n << "\";\n";
+  }
+  for (const auto& [n, edges] : adj_) {
+    for (const auto& [m, label] : edges) {
+      os << "  \"" << n << "\" -> \"" << m << "\"";
+      if (!label.empty()) os << " [label=\"" << label << "\"]";
+      os << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace ilu::lint

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+/// A small string-keyed digraph for ilu-lint's cross-TU analyses (the lock
+/// acquisition graph and the include graph). Everything — node set,
+/// adjacency, traversal frontiers — lives in sorted containers, so every
+/// query has exactly one answer regardless of insertion order: witness paths
+/// printed in findings are reproducible byte for byte across runs.
+namespace ilu::lint {
+
+class Digraph {
+ public:
+  void add_node(const std::string& n);
+  /// Adds the edge if absent; the first label for a (from, to) pair wins,
+  /// so inserting in source order keeps the earliest witness.
+  void add_edge(const std::string& from, const std::string& to,
+                const std::string& label);
+
+  bool has_edge(const std::string& from, const std::string& to) const;
+  /// Label of an existing edge, or nullptr.
+  const std::string* edge_label(const std::string& from,
+                                const std::string& to) const;
+  std::vector<std::string> nodes() const;
+
+  /// Shortest path from -> to as a node sequence (BFS, lexicographic
+  /// tie-break). Empty when unreachable; {from} when from == to trivially.
+  std::vector<std::string> path(const std::string& from,
+                                const std::string& to) const;
+
+  /// All unordered pairs {a, b} with a < b where a reaches b AND b reaches
+  /// a — for the lock graph these are exactly the order inversions. Sorted.
+  std::vector<std::pair<std::string, std::string>> mutually_reachable_pairs()
+      const;
+
+  /// One canonical cycle per non-trivial strongly connected component
+  /// (self-loops included), as a node sequence starting and ending at the
+  /// component's smallest node. Sorted by that node.
+  std::vector<std::vector<std::string>> cycles() const;
+
+  /// Graphviz source. Nodes and edges emitted in sorted order; edge labels
+  /// become edge attributes.
+  std::string dot(const std::string& name) const;
+
+ private:
+  /// Set of nodes reachable from n by >= 1 edge.
+  std::vector<std::string> reach_from(const std::string& n) const;
+
+  std::map<std::string, std::map<std::string, std::string>> adj_;
+};
+
+}  // namespace ilu::lint

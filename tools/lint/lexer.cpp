@@ -95,7 +95,11 @@ class Lexer {
   }
 
   /// Skip a preprocessor directive, honoring `\` line continuations. Line
-  /// comments terminate it; block comments inside are crossed over.
+  /// comments terminate it; block comments inside are crossed over. String
+  /// and character literals are skipped as units so a raw string spanning
+  /// lines (e.g. inside a #define) never leaks its contents into the token
+  /// stream as live code, and an embedded `//` or apostrophe never derails
+  /// the directive scan.
   void preprocessor_line() {
     line_has_code_ = true;
     while (i_ < src_.size()) {
@@ -121,8 +125,75 @@ class Lexer {
         out_.comments.pop_back();  // not a suppression site
         continue;
       }
+      if (c == '"') {
+        skip_string_in_directive(preceding_prefix_is_raw());
+        continue;
+      }
+      if (c == '\'' && !preceded_by_digit()) {
+        skip_char_in_directive();
+        continue;
+      }
       ++i_;
     }
+  }
+
+  /// Is the identifier glued to the left of src_[i_] (== '"') a raw-string
+  /// prefix ending in R? Used only inside preprocessor directives, where
+  /// tokens are skipped rather than emitted.
+  bool preceding_prefix_is_raw() const {
+    std::size_t j = i_;
+    while (j > 0 && is_ident(src_[j - 1])) --j;
+    std::string_view prefix = src_.substr(j, i_ - j);
+    return !prefix.empty() && prefix.back() == 'R' && is_string_prefix(prefix);
+  }
+
+  /// True when src_[i_] (== '\'') directly follows a digit — then it is a
+  /// digit separator inside a pp-number, not a character literal.
+  bool preceded_by_digit() const {
+    return i_ > 0 && (is_digit(src_[i_ - 1]) ||
+                      (is_ident(src_[i_ - 1]) && i_ > 1 &&
+                       is_digit(src_[i_ - 2])));
+  }
+
+  /// Skip a (possibly raw) string literal inside a preprocessor directive,
+  /// counting embedded newlines so later line numbers stay exact.
+  void skip_string_in_directive(bool raw) {
+    ++i_;  // opening quote
+    if (raw) {
+      std::size_t dstart = i_;
+      while (i_ < src_.size() && src_[i_] != '(') ++i_;
+      std::string closer = ")";
+      closer += std::string(src_.substr(dstart, i_ - dstart));
+      closer += '"';
+      std::size_t pos = src_.find(closer, i_);
+      if (pos == std::string_view::npos) {
+        for (std::size_t j = i_; j < src_.size(); ++j)
+          if (src_[j] == '\n') ++line_;
+        i_ = src_.size();
+      } else {
+        for (std::size_t j = i_; j < pos; ++j)
+          if (src_[j] == '\n') ++line_;
+        i_ = pos + closer.size();
+      }
+    } else {
+      while (i_ < src_.size() && src_[i_] != '"' && src_[i_] != '\n') {
+        if (src_[i_] == '\\' && i_ + 1 < src_.size()) {
+          if (src_[i_ + 1] == '\n') ++line_;
+          ++i_;
+        }
+        ++i_;
+      }
+      if (i_ < src_.size() && src_[i_] == '"') ++i_;
+    }
+  }
+
+  void skip_char_in_directive() {
+    ++i_;  // opening quote
+    while (i_ < src_.size() && src_[i_] != '\'' && src_[i_] != '\n') {
+      if (src_[i_] == '\\' && i_ + 1 < src_.size()) ++i_;
+      ++i_;
+    }
+    if (i_ < src_.size() && src_[i_] == '\'') ++i_;
   }
 
   void line_comment_then_newline() {
@@ -185,8 +256,13 @@ class Lexer {
         i_ = pos + closer.size();
       }
     } else {
+      // A backslash-newline pair is a spliced line: the literal continues
+      // on the next source line, which must still count toward line_.
       while (i_ < src_.size() && src_[i_] != '"' && src_[i_] != '\n') {
-        if (src_[i_] == '\\' && i_ + 1 < src_.size()) ++i_;
+        if (src_[i_] == '\\' && i_ + 1 < src_.size()) {
+          if (src_[i_ + 1] == '\n') ++line_;
+          ++i_;
+        }
         ++i_;
       }
       if (i_ < src_.size() && src_[i_] == '"') ++i_;

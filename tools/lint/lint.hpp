@@ -48,12 +48,39 @@
 ///                         (the registry's own layer), exp/ (sweep jobs wire
 ///                         fresh panels per run).
 ///
+/// Whole-repo checks (cross-TU; run over every staged file at once, so
+/// `--file` mode sees only single-TU facts while `--root` sees the full
+/// lock/include/call graph — see model.hpp and cross_checks.cpp):
+///   lock-order            two locks acquired in both orders anywhere in
+///                         src/, through calls; both witness paths printed.
+///   atomics-discipline    atomic ops confined to runtime/, obs/flight.*,
+///                         util/dcheck.*, or files with an atomics-floor
+///                         pragma; explicit memory_order below the floor.
+///   blocking-under-lock   allocation / container growth / I/O / registry
+///                         lookup while a lock is held (exempt obs/, exp/,
+///                         util/).
+///   include-layering      project includes must follow the layer DAG
+///                         util → common → obs/metrics → trace/runtime →
+///                         containers/keepalive/queueing → core/lb/baseline
+///                         → exp; back-edges and cycles are findings.
+///
 /// Suppression: a finding on line L is suppressed by a comment on L (or a
 /// comment-only line immediately above) of the form
 ///     // ilu-lint: allow(check-name[,check2]) - reason text
 /// The reason is mandatory; an allow() without one (or naming an unknown
 /// check) is itself reported under the reserved name `lint-suppression`,
 /// which cannot be suppressed.
+///
+/// Atomics floor: a file owning atomics declares its minimum memory order
+/// once, at the top:
+///     // ilu-lint: atomics-floor(seq_cst: sleeping_) - Dekker handshake
+///     // ilu-lint: atomics-floor(relaxed) - stats counters, monotone
+/// `atomics-floor(ORDER)` sets the file default; `atomics-floor(ORDER:
+/// var1, var2)` sets per-variable floors that override the default.
+/// Explicit memory_order arguments weaker than the applicable floor are
+/// findings; implicit ops are seq_cst and always pass. Outside the
+/// concurrency zone, a pragma converts the file from blanket-banned to
+/// floor-checked.
 namespace ilu::lint {
 
 struct Finding {
@@ -81,14 +108,28 @@ struct FileInput {
   std::string paired_header;
 };
 
-/// Lint one file; returns unsuppressed findings plus any malformed
-/// suppressions, sorted by line.
+/// Lint a set of files together: per-file checks on each, then the four
+/// cross-TU checks over the whole set (the lock graph, atomic visibility
+/// and include graph span exactly these inputs). Returns unsuppressed
+/// findings plus any malformed directives, sorted by (path, line, check).
+std::vector<Finding> lint_inputs(const std::vector<FileInput>& ins);
+
+/// Lint one file alone — `lint_inputs({in})`. Cross-TU checks degrade
+/// gracefully to the facts visible in this single TU.
 std::vector<Finding> lint_file(const FileInput& in);
+
+/// Load every .hpp/.cpp under `src_root` as FileInputs with paths relative
+/// to `src_root`, sorted by path, with paired headers attached.
+std::vector<FileInput> load_tree(const std::string& src_root);
 
 /// Recursively lint every .hpp/.cpp under `src_root`. Findings carry paths
 /// relative to `src_root` and are sorted by (path, line). `files_scanned`
 /// (optional) receives the number of files visited.
 std::vector<Finding> lint_tree(const std::string& src_root,
                                std::size_t* files_scanned = nullptr);
+
+/// Render the whole-repo lock acquisition graph as deterministic Graphviz
+/// (the committed tools/lint/lock_order.dot artifact; see DESIGN.md §15).
+std::string lock_order_dot(const std::vector<FileInput>& ins);
 
 }  // namespace ilu::lint

@@ -4,12 +4,20 @@
 //   ilu-lint --src DIR         lint DIR directly
 //   ilu-lint --file F [F...]   lint individual files (pre-commit mode);
 //                              paths outside a src/ tree are skipped, since
-//                              the checks only govern simulation code
+//                              the checks only govern simulation code. All
+//                              staged files are analyzed as one batch, so
+//                              the cross-TU checks see whatever lock/include
+//                              facts the batch contains (single-TU facts
+//                              when one file is staged).
 //   ilu-lint --list-checks     print the check catalogue
+//   ilu-lint --json            emit findings as a JSON array (stdout)
+//   ilu-lint --sarif           emit SARIF 2.1.0 (stdout; CI annotation)
+//   ilu-lint --dot FILE        also write the whole-repo lock acquisition
+//                              graph as Graphviz to FILE (tree modes only)
 //
 // Exit status: 0 when the tree is clean, 1 when findings were reported,
 // 2 on usage/IO errors. Registered as the `ilu_lint` ctest test so tier-1
-// runs enforce the rules; see DESIGN.md §10 for the catalogue and the
+// runs enforce the rules; see DESIGN.md §10/§15 for the catalogue and the
 // suppression policy.
 
 #include <cstdio>
@@ -47,24 +55,87 @@ std::string src_relative(const fs::path& p) {
   return {};
 }
 
-/// Lint one on-disk file the way the tree walk would (paired header
-/// included). Returns findings; `skipped` reports non-src/ paths.
-std::vector<ilu::lint::Finding> lint_one(const fs::path& p, bool* skipped) {
-  *skipped = false;
-  std::string rel = src_relative(p);
-  if (rel.empty()) {
-    *skipped = true;
-    return {};
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
   }
-  ilu::lint::FileInput in;
-  in.rel_path = rel;
-  in.content = slurp(p);
-  if (p.extension() == ".cpp" || p.extension() == ".cc") {
-    fs::path header = p;
-    header.replace_extension(".hpp");
-    if (fs::exists(header)) in.paired_header = slurp(header);
+  return out;
+}
+
+enum class Format { Text, Json, Sarif };
+
+/// `display` maps a finding's src-relative path back to the path the user
+/// passed (tree mode prefixes the src dir; file mode restores the argv
+/// spelling so editors can jump to it).
+void emit(const std::vector<ilu::lint::Finding>& findings, Format fmt,
+          const std::vector<std::pair<std::string, std::string>>& display) {
+  auto shown = [&](const std::string& rel) -> const std::string& {
+    for (const auto& [r, d] : display) {
+      if (r == rel) return d;
+    }
+    return rel;
+  };
+  if (fmt == Format::Text) {
+    for (const auto& f : findings) {
+      std::printf("%s:%d: [%s] %s\n", shown(f.path).c_str(), f.line,
+                  f.check.c_str(), f.message.c_str());
+    }
+    return;
   }
-  return ilu::lint::lint_file(in);
+  if (fmt == Format::Json) {
+    std::printf("[");
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+      const auto& f = findings[i];
+      std::printf(
+          "%s\n  {\"path\": \"%s\", \"line\": %d, \"check\": \"%s\", "
+          "\"message\": \"%s\"}",
+          i ? "," : "", json_escape(shown(f.path)).c_str(), f.line,
+          f.check.c_str(), json_escape(f.message).c_str());
+    }
+    std::printf("%s]\n", findings.empty() ? "" : "\n");
+    return;
+  }
+  // SARIF 2.1.0: one run, rules from the catalogue, one result per finding.
+  std::printf(
+      "{\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      "  \"runs\": [{\n"
+      "    \"tool\": {\"driver\": {\"name\": \"ilu-lint\", \"rules\": [");
+  const auto& cat = ilu::lint::checks();
+  for (std::size_t i = 0; i < cat.size(); ++i) {
+    std::printf(
+        "%s\n      {\"id\": \"%s\", \"shortDescription\": {\"text\": "
+        "\"%s\"}}",
+        i ? "," : "", cat[i].name, json_escape(cat[i].description).c_str());
+  }
+  std::printf("\n    ]}},\n    \"results\": [");
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const auto& f = findings[i];
+    std::printf(
+        "%s\n      {\"ruleId\": \"%s\", \"level\": \"error\", "
+        "\"message\": {\"text\": \"%s\"}, \"locations\": [{"
+        "\"physicalLocation\": {\"artifactLocation\": {\"uri\": \"%s\"}, "
+        "\"region\": {\"startLine\": %d}}}]}",
+        i ? "," : "", f.check.c_str(), json_escape(f.message).c_str(),
+        json_escape(shown(f.path)).c_str(), f.line);
+  }
+  std::printf("%s]\n  }]\n}\n", findings.empty() ? "" : "\n    ");
 }
 
 }  // namespace
@@ -72,14 +143,25 @@ std::vector<ilu::lint::Finding> lint_one(const fs::path& p, bool* skipped) {
 int main(int argc, char** argv) {
   std::string root = ".";
   std::string src;
+  std::string dot_path;
   std::vector<std::string> files;
+  Format fmt = Format::Text;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
       root = argv[++i];
     } else if (std::strcmp(argv[i], "--src") == 0 && i + 1 < argc) {
       src = argv[++i];
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      fmt = Format::Json;
+    } else if (std::strcmp(argv[i], "--sarif") == 0) {
+      fmt = Format::Sarif;
+    } else if (std::strcmp(argv[i], "--dot") == 0 && i + 1 < argc) {
+      dot_path = argv[++i];
     } else if (std::strcmp(argv[i], "--file") == 0) {
-      for (++i; i < argc; ++i) files.emplace_back(argv[i]);
+      for (++i; i < argc && std::strncmp(argv[i], "--", 2) != 0; ++i) {
+        files.emplace_back(argv[i]);
+      }
+      --i;
     } else if (std::strcmp(argv[i], "--list-checks") == 0) {
       for (const auto& c : ilu::lint::checks()) {
         std::printf("%-22s %s\n", c.name, c.description);
@@ -88,36 +170,47 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: ilu-lint [--root DIR | --src DIR | "
-                   "--file F [F...] | --list-checks]\n");
+                   "--file F [F...] | --list-checks] "
+                   "[--json | --sarif] [--dot FILE]\n");
       return 2;
     }
   }
 
   if (!files.empty()) {
-    std::size_t findings = 0, scanned = 0, skipped = 0;
+    // Batch mode: stage every file into one lint_inputs() call so the
+    // cross-TU checks run over the whole set at once.
+    std::vector<ilu::lint::FileInput> ins;
+    std::vector<std::pair<std::string, std::string>> display;
+    std::size_t skipped = 0;
     for (const std::string& f : files) {
       if (!fs::is_regular_file(f)) {
         std::fprintf(stderr, "ilu-lint: no such file: %s\n", f.c_str());
         return 2;
       }
-      bool skip = false;
-      auto fs_ = lint_one(f, &skip);
-      if (skip) {
+      std::string rel = src_relative(f);
+      if (rel.empty()) {
         ++skipped;
         continue;
       }
-      ++scanned;
-      for (const auto& x : fs_) {
-        std::printf("%s:%d: [%s] %s\n", f.c_str(), x.line, x.check.c_str(),
-                    x.message.c_str());
+      ilu::lint::FileInput in;
+      in.rel_path = rel;
+      in.content = slurp(f);
+      fs::path p = f;
+      if (p.extension() == ".cpp" || p.extension() == ".cc") {
+        fs::path header = p;
+        header.replace_extension(".hpp");
+        if (fs::exists(header)) in.paired_header = slurp(header);
       }
-      findings += fs_.size();
+      display.emplace_back(rel, f);
+      ins.push_back(std::move(in));
     }
+    auto findings = ilu::lint::lint_inputs(ins);
+    emit(findings, fmt, display);
     std::fprintf(stderr,
                  "ilu-lint: %zu file(s) scanned, %zu skipped (outside src/), "
                  "%zu finding(s)\n",
-                 scanned, skipped, findings);
-    return findings == 0 ? 0 : 1;
+                 ins.size(), skipped, findings.size());
+    return findings.empty() ? 0 : 1;
   }
 
   if (src.empty()) src = root + "/src";
@@ -126,13 +219,23 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::size_t n = 0;
-  auto findings = ilu::lint::lint_tree(src, &n);
-  for (const auto& f : findings) {
-    std::printf("%s/%s:%d: [%s] %s\n", src.c_str(), f.path.c_str(), f.line,
-                f.check.c_str(), f.message.c_str());
+  auto ins = ilu::lint::load_tree(src);
+  auto findings = ilu::lint::lint_inputs(ins);
+  std::vector<std::pair<std::string, std::string>> display;
+  display.reserve(ins.size());
+  for (const auto& in : ins) {
+    display.emplace_back(in.rel_path, src + "/" + in.rel_path);
   }
-  std::fprintf(stderr, "ilu-lint: %zu file(s) scanned, %zu finding(s)\n", n,
-               findings.size());
+  emit(findings, fmt, display);
+  if (!dot_path.empty()) {
+    std::ofstream out(dot_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "ilu-lint: cannot write %s\n", dot_path.c_str());
+      return 2;
+    }
+    out << ilu::lint::lock_order_dot(ins);
+  }
+  std::fprintf(stderr, "ilu-lint: %zu file(s) scanned, %zu finding(s)\n",
+               ins.size(), findings.size());
   return findings.empty() ? 0 : 1;
 }

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/lexer.hpp"
+#include "lint/lint.hpp"
+
+/// Internal helpers shared by the per-file checks (checks.cpp), the repo
+/// model (model.cpp), and the cross-TU checks (cross_checks.cpp). Not part
+/// of the public lint.hpp surface.
+namespace ilu::lint {
+
+using Tokens = std::vector<Token>;
+using NameSet = std::set<std::string, std::less<>>;
+
+inline bool is_id(const Token& t, std::string_view s) {
+  return t.kind == Tok::Identifier && t.text == s;
+}
+inline bool is_punct(const Token& t, std::string_view s) {
+  return t.kind == Tok::Punct && t.text == s;
+}
+
+inline bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+inline bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+template <std::size_t N>
+bool in_any(std::string_view rel, const std::string_view (&prefixes)[N]) {
+  for (std::string_view p : prefixes) {
+    if (starts_with(rel, p)) return true;
+  }
+  return false;
+}
+
+/// Preceded by `std ::` — the qualification every flagged std name needs so
+/// that user types that merely share the name stay un-flagged.
+inline bool std_qualified(const Tokens& ts, std::size_t i) {
+  return i >= 2 && is_punct(ts[i - 1], "::") && is_id(ts[i - 2], "std");
+}
+
+/// From ts[i] == "<", return the index one past the matching ">", or
+/// ts.size() when unbalanced. Single-char puncts mean `>>` arrives as two
+/// tokens, so nested template argument lists balance naturally.
+inline std::size_t skip_template_args(const Tokens& ts, std::size_t i) {
+  int depth = 0;
+  for (; i < ts.size(); ++i) {
+    if (is_punct(ts[i], "<")) {
+      ++depth;
+    } else if (is_punct(ts[i], ">")) {
+      if (--depth == 0) return i + 1;
+    } else if (is_punct(ts[i], ";") || is_punct(ts[i], "{")) {
+      return ts.size();  // not actually a template argument list
+    }
+  }
+  return ts.size();
+}
+
+inline std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// `// ilu-lint: allow(check[,check2]) - reason` parsed from a comment.
+/// Applies to its own line, or the line below when the comment stands alone.
+struct Suppression {
+  int applies_to_line = 0;
+  NameSet checks;
+};
+
+/// `// ilu-lint: atomics-floor(order[: var, var2]) - reason` parsed from a
+/// comment. Without a var list it sets the file-wide floor; with one it sets
+/// per-variable floors that override the file default.
+struct FloorPragma {
+  int line = 0;
+  int rank = -1;                   // order_rank of the declared order
+  std::vector<std::string> vars;   // empty: file-wide default
+};
+
+/// memory_order strength ranking: relaxed=0, consume=1, acquire/release=2,
+/// acq_rel=3, seq_cst=4. Accepts both `memory_order_X` and bare `X`.
+/// Returns -1 for unknown names.
+int order_rank(std::string_view name);
+
+/// Parse one comment for ilu-lint directives. Appends a Suppression, a
+/// FloorPragma, or — for malformed directives — an unsuppressible
+/// `lint-suppression` finding.
+void parse_directive(const Comment& c, const std::string& rel,
+                     std::vector<Suppression>& sups,
+                     std::vector<FloorPragma>& floors,
+                     std::vector<Finding>& out);
+
+}  // namespace ilu::lint
