@@ -27,6 +27,11 @@ class ConsistentHashRing {
   /// worker listed once.
   std::vector<std::size_t> candidates(std::string_view key) const;
 
+  /// The raw ring: point → worker index, ascending by point. Exposed for
+  /// topology consumers (lb/placement.cpp groups ring-adjacent workers onto
+  /// the same shard); routing goes through candidates().
+  const std::map<std::uint64_t, std::size_t>& points() const { return ring_; }
+
  private:
   std::size_t vnodes_;
   std::size_t workers_ = 0;

@@ -7,6 +7,7 @@
 
 #include "core/worker.hpp"
 #include "lb/chbl.hpp"
+#include "lb/placement.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/latency.hpp"
 #include "runtime/sharded_runtime.hpp"
@@ -24,15 +25,22 @@
 ///  * single event loop (`Cluster(Runtime&, ...)`): LB and workers all on
 ///    one runtime, RPC hops are plain timers;
 ///  * sharded (`Cluster(ShardedRuntime&, ...)`): the LB and the driver live
-///    on shard 0, worker w lives on shard w % N, and every LB→worker /
-///    worker→LB hop is a mailbox message. The RPC latency floor
-///    (cfg.rpc.lower_bound(), strictly positive) is the conservative
+///    on shard 0, worker w lives on the shard cfg.placement assigns it
+///    (lb/placement.hpp: round-robin striping, or CH-BL-ring locality
+///    grouping so workers that forward to each other share a shard), and
+///    every LB→worker / worker→LB hop is a mailbox message. The RPC latency
+///    floor (cfg.rpc.lower_bound(), strictly positive) is the conservative
 ///    lookahead. With a fixed seed the sharded run is event-for-event
-///    identical to the single-shard run at any shard count: both RPC hop
-///    samples are drawn on the LB at route time (so the balancer RNG's
-///    draw order never depends on worker interleaving), and messages are
-///    keyed by (deliver time, sender id, per-sender sequence) — shard-count
-///    independent by construction.
+///    identical to the single-shard run at any shard count, under either
+///    placement and either sync strategy: both RPC hop samples are drawn on
+///    the LB at route time (so the balancer RNG's draw order never depends
+///    on worker interleaving), and messages are keyed by (deliver time,
+///    sender id, per-sender sequence) — shard-count independent by
+///    construction. When the sharded runtime can speculate
+///    (SyncStrategy::kOptimistic / kAuto), every worker registers a state
+///    Snapshotter on its shard and the cluster registers its own LB-state
+///    snapshotters, so a rollback rewinds the whole control plane, not just
+///    the event heaps.
 namespace ilu {
 
 enum class LbPolicy { ChBl, RoundRobin, LeastLoaded };
@@ -47,6 +55,11 @@ struct ClusterConfig {
   /// plus lognormal jitter; median ≈ 250 µs as in the paper's LB studies.
   LatencyModel rpc =
       LatencyModel::shifted(usecs(200), LatencyModel::lognormal(usecs(50), 0.4));
+  /// Worker→shard placement (sharded ctor only; see lb/placement.hpp).
+  /// kRoundRobin stripes worker w onto shard w % N; kLocality groups CH-BL
+  /// ring neighbours so forwarded invocations tend to stay intra-shard.
+  /// Placement never changes simulation results, only cross-shard traffic.
+  Placement placement = Placement::kRoundRobin;
   std::uint64_t seed = 21;
 };
 
@@ -54,8 +67,10 @@ class Cluster {
  public:
   /// Single-event-loop cluster (the serial path).
   Cluster(Runtime& rt, ClusterConfig cfg);
-  /// Sharded cluster: LB on shard 0, worker w on shard w % srt.shards().
-  /// srt.lookahead() must not exceed cfg.rpc.lower_bound().
+  /// Sharded cluster: LB on shard 0, worker w on the shard chosen by
+  /// cfg.placement (round-robin striping or CH-BL locality grouping — see
+  /// lb/placement.hpp; shard_of() reports the result). srt.lookahead() must
+  /// not exceed cfg.rpc.lower_bound().
   Cluster(ShardedRuntime& srt, ClusterConfig cfg);
 
   void start();
@@ -92,6 +107,11 @@ class Cluster {
 
  private:
   void build_workers();
+  /// Register the LB's own mutable state (and the per-shard worker_seq_
+  /// partitions) with the runtimes that host it, so speculative shard
+  /// execution can roll the balancer back along with the workers. A no-op
+  /// on runtimes without snapshot support.
+  void register_snapshotters();
   std::size_t route(FunctionId fn);
   /// Message tags: (per-sender sequence, sender) lexicographic, encoded so
   /// numeric order == lexicographic order over the fixed sender universe

@@ -1,0 +1,61 @@
+#include "lb/placement.hpp"
+
+#include <cassert>
+
+#include "lb/chbl.hpp"
+
+namespace ilu {
+
+const char* to_string(Placement p) {
+  switch (p) {
+    case Placement::kRoundRobin: return "roundrobin";
+    case Placement::kLocality: return "locality";
+  }
+  return "?";
+}
+
+std::vector<std::size_t> assign_shards(Placement p, std::size_t num_workers,
+                                       std::size_t num_shards,
+                                       std::size_t vnodes_per_worker) {
+  assert(num_shards >= 1);
+  std::vector<std::size_t> out(num_workers, 0);
+  if (num_shards <= 1) return out;
+  switch (p) {
+    case Placement::kRoundRobin:
+      for (std::size_t w = 0; w < num_workers; ++w) out[w] = w % num_shards;
+      break;
+    case Placement::kLocality: {
+      // Rebuild the LB's consistent-hash ring (a pure function of worker
+      // count and vnode count) and walk it once in point order, recording
+      // each worker at its first appearance. That yields a ring-adjacency
+      // ordering of the workers: consecutive entries are the workers most
+      // likely to absorb each other's CH-BL spillover. Cutting the ordering
+      // into num_shards contiguous, equal-size groups then keeps forwarding
+      // neighbourhoods on one shard.
+      ConsistentHashRing ring(vnodes_per_worker == 0 ? 1 : vnodes_per_worker);
+      for (std::size_t w = 0; w < num_workers; ++w) ring.add_worker(w);
+      std::vector<std::size_t> order;
+      order.reserve(num_workers);
+      std::vector<bool> seen(num_workers, false);
+      for (const auto& [point, w] : ring.points()) {
+        if (!seen[w]) {
+          seen[w] = true;
+          order.push_back(w);
+        }
+      }
+      // Degenerate rings (shouldn't happen: add_worker always inserts
+      // vnodes) would leave workers unplaced; append them in index order.
+      for (std::size_t w = 0; w < num_workers; ++w) {
+        if (!seen[w]) order.push_back(w);
+      }
+      const std::size_t group = (num_workers + num_shards - 1) / num_shards;
+      for (std::size_t i = 0; i < order.size(); ++i) {
+        out[order[i]] = group == 0 ? 0 : i / group;
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace ilu

@@ -1,0 +1,55 @@
+#pragma once
+// ilu-lint: atomics-floor(acquire: gen_) - the barrier generation publishes every shard's pre-barrier writes; its bump is acq_rel, waiters spin on acquire
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <thread>
+
+#include "runtime/sim_runtime.hpp"
+
+/// Internal synchronization primitives shared by ShardedRuntime's engine
+/// core (sharded_runtime.cpp) and its two strategy TUs
+/// (sync_conservative.cpp / sync_optimistic.cpp). Not part of the public
+/// surface — include sharded_runtime.hpp instead.
+namespace ilu::shard_sync {
+
+/// Published horizon value for a shard with no pending events.
+inline constexpr std::int64_t kIdle = std::numeric_limits<std::int64_t>::max();
+
+/// Sense-reversing spin barrier. Windows are short (often a handful of
+/// events per shard), so a futex-parked barrier would dominate the loop;
+/// this one completes in a few hundred ns when all threads are running, and
+/// degrades to yielding when the host is oversubscribed (1-core CI).
+/// Synchronization: every arrival is an acq_rel RMW on count_, the last
+/// arrival publishes through an acq_rel RMW on gen_, and waiters acquire
+/// gen_ — so all writes made before the barrier are visible after it.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(unsigned n) : n_(n) {}
+
+  void arrive_and_wait() {
+    std::uint64_t gen = gen_.load(std::memory_order_acquire);
+    if (count_.fetch_add(1, std::memory_order_acq_rel) + 1 == n_) {
+      count_.store(0, std::memory_order_relaxed);
+      gen_.fetch_add(1, std::memory_order_acq_rel);
+    } else {
+      int spins = 0;
+      while (gen_.load(std::memory_order_acquire) == gen) {
+        if (++spins > 4096) std::this_thread::yield();
+      }
+    }
+  }
+
+ private:
+  unsigned n_;
+  std::atomic<unsigned> count_{0};
+  std::atomic<std::uint64_t> gen_{0};
+};
+
+inline std::int64_t horizon_of(const SimRuntime& rt) {
+  auto d = rt.next_deadline();
+  return d ? d->count() : kIdle;
+}
+
+}  // namespace ilu::shard_sync

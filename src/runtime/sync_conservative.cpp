@@ -1,0 +1,25 @@
+#include "runtime/sharded_runtime.hpp"
+// ilu-lint: atomics-floor(relaxed) - events_ publication is ordered by the round barriers (shard_sync.hpp)
+
+#include <algorithm>
+
+/// Conservative (Chandy–Misra bounded-lag) round: the original window
+/// engine, now one of ShardedRuntime's pluggable strategies. With T_min the
+/// agreed earliest pending deadline and every cross-shard send at least
+/// `lookahead` out, no event executed anywhere this round can create work
+/// before T_min + lookahead — so running each shard to that bound is safe
+/// without checkpoints, stragglers, or rollback. One barrier round buys
+/// exactly one lookahead of virtual time; see sync_optimistic.cpp for the
+/// engine that trades that guarantee for speculation.
+namespace ilu {
+
+void ShardedRuntime::round_conservative(std::size_t me, std::int64_t tmin,
+                                        std::int64_t cap_us,
+                                        shard_sync::SpinBarrier& barrier) {
+  SimRuntime& rt = *shards_[me];
+  const TimePoint w{std::min(tmin + lookahead_.count(), cap_us)};
+  rt.run_before(w);
+  commit_round(me, barrier);
+}
+
+}  // namespace ilu

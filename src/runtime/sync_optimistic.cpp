@@ -1,0 +1,124 @@
+#include "runtime/sharded_runtime.hpp"
+// ilu-lint: atomics-floor(relaxed) - straggler_min_/events_ are published between the round's barriers (shard_sync.hpp supplies the ordering)
+
+#include <algorithm>
+
+#include "obs/flight.hpp"
+
+/// Optimistic (Time Warp) round, barrier-synchronized (DESIGN.md §16).
+///
+/// Where the conservative engine buys exactly one `lookahead` of virtual
+/// time per barrier round, this engine speculates `speculation` lookaheads
+/// ahead of the agreed T_min and usually commits them all for the same
+/// barrier cost. The price is the machinery to undo a round when the bet
+/// fails:
+///
+///   checkpoint   SimRuntime::checkpoint() — deep event-heap copy plus one
+///                blob per registered component Snapshotter, taken at the
+///                round's start, when the merge has left the outbox matrix
+///                empty (a globally consistent cut).
+///   speculate    run_before(H), H = min(T_min + speculation·lookahead, cap).
+///   detect       after the first closing barrier each shard scans its
+///                inbox column for stragglers: messages with deliver time
+///                <= its (speculative) clock. Later-dated mail is provably
+///                safe — run_before(H) fired *every* event below the shard's
+///                clock, so a message above it can still be delivered at the
+///                next merge in correct order. The scan publishes the
+///                per-shard minimum; a second barrier makes the global
+///                minimum `min_at` — the earliest causality violation
+///                anywhere — common knowledge.
+///   rollback     if min_at exists, every shard cancels the messages it
+///                sent this round (its anti-messages: nothing was delivered
+///                yet, so cancellation is clearing its own outbox rows),
+///                restores its checkpoint, rewinds its flight ring to the
+///                round's mark, and re-runs to W = min(T_min + lookahead,
+///                min_at) — below every straggler, so the re-run commits.
+///                Re-issued sends are a deterministic prefix of the scanned
+///                ones, which is why one global rollback per round suffices.
+///
+/// Committed state is identical to what the conservative engine would have
+/// produced — rounds just cover differently-sized safe prefixes of the same
+/// (deliver time, tag)-ordered event sequence.
+namespace ilu {
+
+void ShardedRuntime::round_optimistic(std::size_t me, std::int64_t tmin,
+                                      std::int64_t cap_us,
+                                      shard_sync::SpinBarrier& barrier) {
+  using shard_sync::kIdle;
+  SimRuntime& rt = *shards_[me];
+  const std::int64_t look = lookahead_.count();
+  const std::int64_t safe = std::min(tmin + look, cap_us);
+  std::int64_t span = static_cast<std::int64_t>(
+      static_cast<double>(look) * cfg_.speculation);
+  if (span < look) span = look;
+  const std::int64_t spec =
+      tmin > kIdle - span ? kIdle : std::min(tmin + span, cap_us);
+  if (spec <= safe) {
+    // The run limit (or a degenerate speculation factor) already clamps the
+    // round to the conservative bound: nothing to bet on, so skip the
+    // checkpoint and run the round as a plain safe window.
+    rt.run_before(TimePoint{safe});
+    commit_round(me, barrier);
+    return;
+  }
+
+  const std::uint64_t fmark = flight::mark();
+  SimRuntime::Checkpoint cp = rt.checkpoint();
+  rt.run_before(TimePoint{spec});
+  barrier.arrive_and_wait();  // speculation done: clocks and outboxes final
+
+  // Straggler scan: read-only pass over this shard's inbox column (the rows
+  // are quiescent between the two closing barriers; senders touch them
+  // again only after the second one).
+  const std::size_t s = shards_.size();
+  const std::int64_t my_now = rt.now().count();
+  std::int64_t my_min = kIdle;
+  for (std::size_t src = 0; src < s; ++src) {
+    if (src == me) continue;
+    for (const Msg& m : outbox_[src * s + me]) {
+      const std::int64_t at = m.at.count();
+      if (at <= my_now && at < my_min) my_min = at;
+    }
+  }
+  straggler_min_[me].store(my_min, std::memory_order_relaxed);
+  barrier.arrive_and_wait();  // all straggler minima published
+
+  std::int64_t min_at = kIdle;
+  for (auto& sm : straggler_min_) {
+    min_at = std::min(min_at, sm.load(std::memory_order_relaxed));
+  }
+  if (min_at == kIdle) {
+    // Every message everywhere landed above its destination's clock: the
+    // whole speculation is causally sound and commits as-is.
+    if (me == 0) ++speculative_windows_;
+    commit_round(me, barrier);
+    return;
+  }
+
+  // Rollback. Senders execute at deadlines >= T_min and optimistic sends
+  // are strictly future-dated (send()'s ILU_DCHECK), so min_at > T_min —
+  // the re-run bound below always clears T_min and the round still makes
+  // progress.
+  const std::uint64_t base_events = cp.processed;
+  const std::uint64_t spec_events = rt.events_processed() - base_events;
+  std::uint64_t cancelled = 0;
+  for (std::size_t dst = 0; dst < s; ++dst) {
+    if (dst == me) continue;
+    auto& box = outbox_[me * s + dst];
+    cancelled += box.size();
+    box.clear();
+  }
+  anti_[me] += cancelled;
+  rt.restore(std::move(cp));
+  flight::rewind(fmark);
+  // Safe even against sub-lookahead stragglers: every send the re-run
+  // re-issues is a prefix replay of one already scanned, hence dated
+  // >= min_at >= this bound — the re-run itself cannot re-straggle.
+  rt.run_before(TimePoint{std::min(safe, min_at)});
+  // The re-run prefix is committed work; only the undone suffix was wasted.
+  wasted_[me] += spec_events - (rt.events_processed() - base_events);
+  if (me == 0) ++rollbacks_;
+  commit_round(me, barrier);
+}
+
+}  // namespace ilu

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+
+/// Shard-synchronization strategy selection for ShardedRuntime (DESIGN.md
+/// §9/§16).
+///
+/// The conservative engine (Chandy–Misra bounded lag) never executes an
+/// event that could be invalidated, at the price of one barrier round per
+/// `lookahead` of virtual time: when the lookahead (the cross-shard RPC
+/// latency floor) is small relative to event density, the barriers dominate.
+/// The optimistic engine (Time Warp) checkpoints each shard, speculates
+/// several lookaheads past the safe bound, and rolls back when a straggler
+/// message lands in a shard's executed past — fewer barriers when
+/// speculation commits, wasted work when it does not. kAuto starts
+/// conservative, measures event density over a probe period, switches to
+/// optimistic in the sparse regime the conservative engine handles worst,
+/// and reverts permanently if the observed rollback rate says speculation is
+/// not paying for itself.
+///
+/// Strategy choice is a pure performance knob: both engines (and any auto
+/// schedule between them) deliver cross-shard messages with identical
+/// (deliver time, tag) keys, so simulation results are byte-identical across
+/// strategies and shard counts — the property bench/cluster_scaling asserts.
+namespace ilu {
+
+enum class SyncStrategy : std::uint8_t {
+  kConservative = 0,
+  kOptimistic = 1,
+  kAuto = 2,
+};
+
+/// Name for logs/CSV ("conservative" | "optimistic" | "auto").
+inline const char* to_string(SyncStrategy s) {
+  switch (s) {
+    case SyncStrategy::kConservative: return "conservative";
+    case SyncStrategy::kOptimistic: return "optimistic";
+    case SyncStrategy::kAuto: return "auto";
+  }
+  return "?";
+}
+
+struct SyncConfig {
+  SyncStrategy strategy = SyncStrategy::kConservative;
+
+  /// Optimistic speculation depth: each speculative window runs to
+  /// min-horizon + speculation × lookahead (clamped to the run limit)
+  /// instead of + 1 × lookahead. Values <= 1 make the optimistic engine
+  /// behave conservatively (it never checkpoints when there is nothing to
+  /// speculate past).
+  double speculation = 4.0;
+
+  /// kAuto: number of conservative probe rounds before the controller
+  /// considers switching.
+  std::uint64_t auto_probe_windows = 32;
+  /// kAuto: switch to optimistic when the probe-phase mean events per round
+  /// per shard falls below this (sparse windows = barrier-bound).
+  double auto_density_threshold = 64.0;
+  /// kAuto: revert permanently to conservative when the optimistic-phase
+  /// rollback rate (rollbacks per round) exceeds this.
+  double auto_max_rollback_rate = 0.25;
+};
+
+}  // namespace ilu

@@ -1,0 +1,38 @@
+// Fixture: a speculative-zone file that declares only the flight channel.
+// Metric mutations and log output must fire; flight records stay clean.
+// ilu-lint: speculative-zone(flight) - recorder is mark()/rewind() bracketed
+#include <cstdio>
+
+namespace fix {
+
+struct Counter {
+  void inc();
+};
+struct Gauge {
+  void set(long v);
+};
+namespace flight {
+void record(int at, int ev, int arg);
+}
+
+void log_info(const char* msg, int v);
+
+struct W {
+  Counter* completions_;
+  Gauge* inflight_;
+
+  void on_complete(int fn) {
+    flight::record(1, 2, fn);      // declared channel: clean
+    completions_->inc();           // finding: metrics undeclared
+    inflight_->set(3);             // finding: metrics undeclared
+    log_info("done ", fn);         // finding: log is never declarable
+    std::printf("done %d\n", fn);  // finding: log is never declarable
+  }
+
+  void value_call() {
+    Gauge g;
+    g.set(1);  // not an instrument pointer mutation: clean
+  }
+};
+
+}  // namespace fix

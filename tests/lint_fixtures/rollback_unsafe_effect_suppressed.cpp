@@ -1,0 +1,35 @@
+// Fixture: both bufferable channels declared, log sites individually
+// allowed — the whole file must lint clean.
+// ilu-lint: speculative-zone(flight, metrics) - ring is rewound and registry values restored per window
+#include <cstdio>
+
+namespace fix {
+
+struct Counter {
+  void inc();
+};
+struct Gauge {
+  void set(long v);
+};
+namespace flight {
+void record(int at, int ev, int arg);
+}
+
+void log_info(const char* msg, int v);
+
+struct W {
+  Counter* completions_;
+  Gauge* inflight_;
+
+  void on_complete(int fn) {
+    flight::record(1, 2, fn);
+    completions_->inc();
+    inflight_->set(3);
+    // ilu-lint: allow(rollback-unsafe-effect) - debug aid behind a flag the sim never sets
+    log_info("done ", fn);
+    // ilu-lint: allow(rollback-unsafe-effect) - ditto
+    std::printf("done %d\n", fn);
+  }
+};
+
+}  // namespace fix

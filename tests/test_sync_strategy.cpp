@@ -1,0 +1,257 @@
+// Unit tests for the pluggable shard-synchronization machinery (DESIGN.md
+// §16): the checkpoint primitives (Task::clone, IndexedHeap::clone_with,
+// SimRuntime::checkpoint/restore + Snapshotter), commit-buffered telemetry
+// (flight mark/rewind, MetricsRegistry value round-trips), worker→shard
+// placement, and the end-to-end contract that conservative, optimistic, and
+// auto sync produce identical event sequences.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "lb/placement.hpp"
+#include "obs/flight.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/indexed_heap.hpp"
+#include "runtime/sharded_runtime.hpp"
+#include "runtime/sim_runtime.hpp"
+#include "runtime/task.hpp"
+
+namespace ilu {
+namespace {
+
+// ---- Task::clone ---------------------------------------------------------
+
+TEST(SyncStrategy, TaskCloneProducesIndependentCopies) {
+  int fired = 0;
+  Task t([&fired] { ++fired; });
+  ASSERT_TRUE(t.clonable());
+  Task copy = t.clone();
+  t();
+  copy();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SyncStrategy, TaskClonabilityTracksCopyConstructibility) {
+  Task copyable([] {});
+  EXPECT_TRUE(copyable.clonable());
+  auto owned = std::make_unique<int>(7);
+  Task move_only([p = std::move(owned)] { (void)*p; });
+  EXPECT_FALSE(move_only.clonable())
+      << "a move-only capture cannot be checkpointed";
+}
+
+// ---- IndexedHeap::clone_with ---------------------------------------------
+
+TEST(SyncStrategy, HeapCloneWithPreservesHandlesAndOrder) {
+  IndexedHeap<int, int> heap;
+  auto a = heap.push(3, 30);
+  auto b = heap.push(1, 10);
+  auto c = heap.push(2, 20);
+  heap.erase(c);
+
+  auto copy = heap.clone_with([](const int& v) { return v; });
+  // Handles issued against the original resolve identically in the clone:
+  // slot indices, generations, and the free list all survive.
+  EXPECT_TRUE(copy.contains(a));
+  EXPECT_TRUE(copy.contains(b));
+  EXPECT_FALSE(copy.contains(c));
+  EXPECT_EQ(copy.size(), 2u);
+  EXPECT_EQ(copy.pop_min(), 10);
+  EXPECT_EQ(copy.pop_min(), 30);
+  // The original is untouched.
+  EXPECT_EQ(heap.size(), 2u);
+  EXPECT_EQ(heap.pop_min(), 10);
+}
+
+// ---- SimRuntime checkpoint/restore ---------------------------------------
+
+TEST(SyncStrategy, CheckpointRestoreRewindsEventsAndSnapshotters) {
+  SimRuntime rt;
+  int fired = 0;  // external, deliberately NOT checkpointed
+  int comp = 0;   // component state owned by a snapshotter
+  rt.add_snapshotter(Snapshotter{
+      [&comp]() -> std::shared_ptr<void> { return std::make_shared<int>(comp); },
+      [&comp](const std::shared_ptr<void>& blob) {
+        comp = *static_cast<const int*>(blob.get());
+      }});
+  rt.schedule(Duration{10}, [&fired] { ++fired; });
+  rt.schedule(Duration{30}, [&fired, &comp] {
+    ++fired;
+    comp = 99;
+  });
+  rt.run_until(TimePoint{20});
+  EXPECT_EQ(fired, 1);
+
+  auto cp = rt.checkpoint();
+  rt.run_until(TimePoint{40});
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(comp, 99);
+
+  rt.restore(std::move(cp));
+  EXPECT_EQ(rt.now(), TimePoint{20}) << "virtual time must rewind";
+  EXPECT_EQ(comp, 0) << "snapshotter state must rewind";
+  rt.run_until(TimePoint{40});
+  EXPECT_EQ(fired, 3) << "the rolled-back event must re-execute";
+  EXPECT_EQ(comp, 99);
+}
+
+TEST(SyncStrategy, RestoredTimerIdsStayCancellable) {
+  SimRuntime rt;
+  int fired = 0;
+  Runtime::TimerId id = rt.schedule(Duration{100}, [&fired] { ++fired; });
+  auto cp = rt.checkpoint();
+  rt.run_until(TimePoint{200});
+  EXPECT_EQ(fired, 1);
+  rt.restore(std::move(cp));
+  // The heap clone preserved slot generations, so the pre-checkpoint id
+  // still names the (restored) timer and can cancel it.
+  EXPECT_TRUE(rt.cancel(id));
+  rt.run_until(TimePoint{200});
+  EXPECT_EQ(fired, 1);
+}
+
+// ---- commit-buffered telemetry -------------------------------------------
+
+TEST(SyncStrategy, FlightRewindDropsSpeculativeRecords) {
+  auto& rec = flight::Recorder::instance();
+  rec.set_enabled(true);
+  flight::Ring& ring = rec.local_ring();
+  ring.clear();
+  flight::record(std::uint64_t{1}, flight::Ev::kInvokeArrival, 1);
+  flight::record(std::uint64_t{2}, flight::Ev::kInvokeArrival, 2);
+  std::uint64_t m = flight::mark();
+  flight::record(std::uint64_t{3}, flight::Ev::kInvokeArrival, 3);
+  flight::record(std::uint64_t{4}, flight::Ev::kInvokeArrival, 4);
+  flight::rewind(m);
+  EXPECT_EQ(ring.recorded(), 2u)
+      << "records stamped after the mark must be erased";
+  auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[1].arg, 2u);
+}
+
+TEST(SyncStrategy, MetricsValuesRoundTrip) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("sync.test.count");
+  Gauge* g = reg.gauge("sync.test.depth");
+  c->inc();
+  g->set(5);
+  MetricsRegistry::Values vals = reg.save_values();
+  c->inc();
+  c->inc();
+  g->set(42);
+  reg.restore_values(vals);
+  EXPECT_EQ(c->value(), 1u);
+  EXPECT_EQ(g->value(), 5);
+}
+
+// ---- placement -----------------------------------------------------------
+
+TEST(SyncStrategy, AssignShardsRoundRobinStripes) {
+  auto map = assign_shards(Placement::kRoundRobin, 8, 3, 16);
+  ASSERT_EQ(map.size(), 8u);
+  for (std::size_t w = 0; w < map.size(); ++w) EXPECT_EQ(map[w], w % 3);
+}
+
+TEST(SyncStrategy, AssignShardsLocalityIsABalancedPartition) {
+  const std::size_t workers = 10, shards = 3;
+  auto map = assign_shards(Placement::kLocality, workers, shards, 16);
+  ASSERT_EQ(map.size(), workers);
+  std::vector<std::size_t> sizes(shards, 0);
+  for (std::size_t s : map) {
+    ASSERT_LT(s, shards);
+    ++sizes[s];
+  }
+  const std::size_t ceil_chunk = (workers + shards - 1) / shards;
+  for (std::size_t s = 0; s < shards; ++s) {
+    EXPECT_GE(sizes[s], 1u) << "no shard may be empty when W >= S";
+    EXPECT_LE(sizes[s], ceil_chunk);
+  }
+  // Deterministic: a pure function of its arguments.
+  EXPECT_EQ(map, assign_shards(Placement::kLocality, workers, shards, 16));
+  EXPECT_EQ(std::string("locality"), to_string(Placement::kLocality));
+  EXPECT_EQ(std::string("roundrobin"), to_string(Placement::kRoundRobin));
+}
+
+// ---- strategy equivalence ------------------------------------------------
+
+struct ActorLog {
+  std::vector<std::pair<std::int64_t, int>> entries;
+};
+
+/// Run a fixed two-shard actor workload under `strat` and return the merged
+/// (time, id) event log. Each shard's log is guarded by a snapshotter that
+/// truncates back to the checkpoint length, so speculative execution that
+/// rolls back leaves no phantom entries.
+std::vector<std::pair<std::int64_t, int>> run_actors(SyncStrategy strat,
+                                                     std::uint64_t* rollbacks) {
+  SyncConfig cfg;
+  cfg.strategy = strat;
+  cfg.speculation = 16.0;
+  ShardedRuntime srt(2, Duration{50}, cfg);
+  ActorLog logs[2];
+  for (int s = 0; s < 2; ++s) {
+    ActorLog* log = &logs[s];
+    srt.shard(s).add_snapshotter(Snapshotter{
+        [log]() -> std::shared_ptr<void> {
+          return std::make_shared<std::size_t>(log->entries.size());
+        },
+        [log](const std::shared_ptr<void>& blob) {
+          log->entries.resize(*static_cast<const std::size_t*>(blob.get()));
+        }});
+  }
+  SimRuntime* s0 = &srt.shard(0);
+  SimRuntime* s1 = &srt.shard(1);
+  for (std::int64_t t = 7; t <= 900; t += 7) {
+    srt.shard(0).schedule(Duration{t}, [&logs, s0] {
+      logs[0].entries.emplace_back(s0->now().count(), 0);
+    });
+  }
+  for (std::int64_t t = 11; t <= 900; t += 11) {
+    srt.shard(1).schedule(Duration{t}, [&logs, s1] {
+      logs[1].entries.emplace_back(s1->now().count(), 1);
+    });
+  }
+  // A cross-shard message that, under optimistic sync, lands in shard 1's
+  // speculated past and forces a rollback.
+  srt.shard(0).schedule(Duration{203}, [&srt, &logs, s0, s1] {
+    srt.send(0, 1, s0->now() + Duration{51}, 5, [&logs, s1] {
+      logs[1].entries.emplace_back(s1->now().count(), 99);
+    });
+  });
+  srt.run_until(TimePoint{1000});
+  if (rollbacks != nullptr) *rollbacks = srt.rollbacks();
+
+  std::vector<std::pair<std::int64_t, int>> merged = logs[0].entries;
+  merged.insert(merged.end(), logs[1].entries.begin(), logs[1].entries.end());
+  std::sort(merged.begin(), merged.end());
+  return merged;
+}
+
+TEST(SyncStrategy, OptimisticMatchesConservative) {
+  std::uint64_t cons_rb = 0, opt_rb = 0;
+  auto cons = run_actors(SyncStrategy::kConservative, &cons_rb);
+  auto opt = run_actors(SyncStrategy::kOptimistic, &opt_rb);
+  ASSERT_FALSE(cons.empty());
+  EXPECT_EQ(cons, opt) << "strategies must be result-equivalent";
+  EXPECT_EQ(cons_rb, 0u) << "conservative sync never rolls back";
+  EXPECT_GE(opt_rb, 1u)
+      << "the straggler message must have forced at least one rollback";
+  // The delivered cross-shard message appears exactly once.
+  EXPECT_EQ(std::count_if(opt.begin(), opt.end(),
+                          [](const auto& e) { return e.second == 99; }),
+            1);
+}
+
+TEST(SyncStrategy, AutoMatchesConservative) {
+  auto cons = run_actors(SyncStrategy::kConservative, nullptr);
+  auto aut = run_actors(SyncStrategy::kAuto, nullptr);
+  EXPECT_EQ(cons, aut);
+}
+
+}  // namespace
+}  // namespace ilu
